@@ -1,0 +1,33 @@
+//! Simulated-annealing substrate and the scalable-bit-rate VoD problem.
+//!
+//! For videos with scalable encoding bit rates the paper "propose\[s\] a
+//! heuristic algorithm based on simulated annealing … constructed … based
+//! on the parsa library" (Sec. 4.3). parsa is a proprietary parallel-SA
+//! framework; this crate is the from-scratch replacement (see DESIGN.md):
+//!
+//! * [`schedule`] — cooling schedules (geometric, linear);
+//! * [`engine`] — a generic Metropolis annealer over any
+//!   [`engine::AnnealProblem`];
+//! * [`parallel`] — parallel multi-chain annealing with periodic
+//!   best-solution exchange (independent chains on OS threads, results
+//!   gathered over a crossbeam channel), matching parsa's
+//!   transparent-parallelism design point;
+//! * [`problem`] — the paper's problem-specific pieces, exactly the three
+//!   the authors enumerate: the Eq. (1) cost function, the
+//!   lowest-rate/round-robin initial solution, and the
+//!   raise-rate-or-add-replica neighborhood with constraint repair.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod multirate;
+pub mod parallel;
+pub mod problem;
+pub mod schedule;
+
+pub use engine::{anneal, AnnealParams, AnnealProblem, AnnealResult};
+pub use multirate::{MultiRateProblem, MultiRateState, RatedReplica};
+pub use parallel::{anneal_parallel, ParallelParams};
+pub use problem::{ScalableProblem, ScalableState};
+pub use schedule::CoolingSchedule;

@@ -1,0 +1,526 @@
+//! Multi-rate replicas — the paper's future-work extension.
+//!
+//! "The replication and placement framework in this article provides a
+//! flexible way to maintain multiple replicas of a video with different
+//! encoding bit rates. The flexibility can facilitate providing different
+//! qualities to requests for various videos or to requests from various
+//! clients/devices. We will report our experience in future work"
+//! (paper, Sec. 6). The authors never published that follow-up; this
+//! module builds the natural formulation on top of the same annealing
+//! substrate.
+//!
+//! Differences from [`crate::problem::ScalableProblem`]:
+//!
+//! * each replica carries its **own** bit rate (constraint "all replicas
+//!   share one rate" is dropped);
+//! * the quality term of Eq. (1) becomes the *delivered* quality: under
+//!   static round-robin each replica serves an equal share of its video's
+//!   requests, so video `i` delivers the mean of its replica rates; the
+//!   configurable objective averages that per video either unweighted
+//!   (the paper's Eq. 1 convention) or weighted by popularity (the
+//!   variant that makes hot titles sharp — see the SA-2 experiment for
+//!   the contrast);
+//! * the neighborhood upgrades a single replica, or adds a lowest-rate
+//!   replica, with the same decrease-or-drop repair discipline.
+
+use crate::engine::AnnealProblem;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vod_model::{load, BitRate, ClusterSpec, ModelError, ObjectiveWeights, Popularity, ServerId};
+
+/// One placed replica: where it lives and how it is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RatedReplica {
+    /// Host server.
+    pub server: ServerId,
+    /// This replica's encoding rate.
+    pub rate: BitRate,
+}
+
+/// A search-space point: per-video list of rated replicas (servers
+/// pairwise distinct per video).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRateState {
+    /// Replicas of each video.
+    pub replicas: Vec<Vec<RatedReplica>>,
+}
+
+impl MultiRateState {
+    /// Mean delivered rate of video `v` in Mbps (replicas serve equal
+    /// request shares under static round robin).
+    pub fn delivered_mbps(&self, v: usize) -> f64 {
+        let reps = &self.replicas[v];
+        reps.iter().map(|r| r.rate.mbps()).sum::<f64>() / reps.len() as f64
+    }
+
+    /// Mean replication degree.
+    pub fn degree(&self) -> f64 {
+        self.replicas.iter().map(|r| r.len() as f64).sum::<f64>() / self.replicas.len() as f64
+    }
+}
+
+/// The multi-rate replication/placement problem.
+#[derive(Debug, Clone)]
+pub struct MultiRateProblem {
+    /// Video popularities (rank-ordered; video id = rank).
+    pub pop: Popularity,
+    /// The cluster's capacities.
+    pub cluster: ClusterSpec,
+    /// Video duration in seconds.
+    pub duration_s: u64,
+    /// The discrete rate ladder, ascending.
+    pub ladder: Vec<BitRate>,
+    /// Expected peak-period demand `λT`, in requests.
+    pub demand: f64,
+    /// Objective weights `α`, `β`.
+    pub weights: ObjectiveWeights,
+    /// When true, the quality term is `Σ_i p_i · delivered_i` (popularity
+    /// weighted); when false, `Σ_i delivered_i / M` (the paper's Eq. 1
+    /// convention).
+    pub popularity_weighted_quality: bool,
+}
+
+impl MultiRateProblem {
+    /// Validates inputs; requires the lowest-rate single-copy deployment
+    /// to fit.
+    pub fn new(
+        pop: Popularity,
+        cluster: ClusterSpec,
+        duration_s: u64,
+        ladder: Vec<BitRate>,
+        demand: f64,
+        weights: ObjectiveWeights,
+        popularity_weighted_quality: bool,
+    ) -> Result<Self, ModelError> {
+        if ladder.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        if !ladder.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ModelError::InvalidParameter {
+                name: "ladder (must ascend)",
+                value: ladder.len() as f64,
+            });
+        }
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "demand",
+                value: demand,
+            });
+        }
+        let problem = MultiRateProblem {
+            pop,
+            cluster,
+            duration_s,
+            ladder,
+            demand,
+            weights,
+            popularity_weighted_quality,
+        };
+        let initial = problem.initial_state();
+        if !problem.is_feasible(&initial) {
+            return Err(ModelError::InsufficientStorage {
+                required: problem.pop.len() as u64,
+                capacity: problem
+                    .cluster
+                    .total_replica_slots(problem.ladder[0], problem.duration_s),
+            });
+        }
+        Ok(problem)
+    }
+
+    /// Number of videos.
+    pub fn n_videos(&self) -> usize {
+        self.pop.len()
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Lowest-rate one-replica-each round-robin deployment.
+    pub fn initial_state(&self) -> MultiRateState {
+        let n = self.n_servers();
+        MultiRateState {
+            replicas: (0..self.n_videos())
+                .map(|v| {
+                    vec![RatedReplica {
+                        server: ServerId((v % n) as u32),
+                        rate: self.ladder[0],
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-server storage use in bytes.
+    pub fn storage_used(&self, state: &MultiRateState) -> Vec<u64> {
+        let mut used = vec![0u64; self.n_servers()];
+        for reps in &state.replicas {
+            for r in reps {
+                used[r.server.index()] += r.rate.storage_bytes(self.duration_s);
+            }
+        }
+        used
+    }
+
+    /// Per-server expected outgoing load in kbps: replica `k` of video
+    /// `v` carries `p_v · demand / r_v` requests at its own rate.
+    pub fn bandwidth_load(&self, state: &MultiRateState) -> Vec<f64> {
+        let mut loads = vec![0.0f64; self.n_servers()];
+        for (v, reps) in state.replicas.iter().enumerate() {
+            let share = self.pop.get(v) * self.demand / reps.len() as f64;
+            for r in reps {
+                loads[r.server.index()] += share * r.rate.kbps() as f64;
+            }
+        }
+        loads
+    }
+
+    /// Whether every constraint holds.
+    pub fn is_feasible(&self, state: &MultiRateState) -> bool {
+        let n = self.n_servers();
+        for reps in &state.replicas {
+            if reps.is_empty() || reps.len() > n {
+                return false;
+            }
+            for (i, r) in reps.iter().enumerate() {
+                if r.server.index() >= n
+                    || !r.rate.in_ladder(&self.ladder)
+                    || reps[..i].iter().any(|q| q.server == r.server)
+                {
+                    return false;
+                }
+            }
+        }
+        let used = self.storage_used(state);
+        let loads = self.bandwidth_load(state);
+        self.cluster
+            .servers()
+            .iter()
+            .zip(used.iter().zip(&loads))
+            .all(|(spec, (&u, &l))| {
+                u <= spec.storage_bytes && l <= spec.bandwidth_kbps as f64 + 1e-6
+            })
+    }
+
+    /// The adapted Eq. (1) objective (higher is better).
+    pub fn objective(&self, state: &MultiRateState) -> f64 {
+        let m = self.n_videos();
+        let quality = if self.popularity_weighted_quality {
+            (0..m)
+                .map(|v| self.pop.get(v) * state.delivered_mbps(v))
+                .sum::<f64>()
+        } else {
+            (0..m).map(|v| state.delivered_mbps(v)).sum::<f64>() / m as f64
+        };
+        let loads = self.bandwidth_load(state);
+        let l = load::imbalance(&loads, self.weights.metric);
+        self.weights.evaluate_components(quality, state.degree(), l)
+    }
+
+    /// Repairs `server` after a load-increasing move: step down or drop
+    /// the lowest-rate replica hosted there (never a video's last
+    /// replica). Returns false if stuck.
+    fn repair(&self, state: &mut MultiRateState, server: usize) -> bool {
+        let sid = ServerId(server as u32);
+        let mut guard = 0;
+        loop {
+            let spec = &self.cluster.servers()[server];
+            let (storage, bandwidth) = {
+                let mut st = 0u64;
+                let mut bw = 0.0f64;
+                for (v, reps) in state.replicas.iter().enumerate() {
+                    let share = self.pop.get(v) * self.demand / reps.len() as f64;
+                    for r in reps.iter().filter(|r| r.server == sid) {
+                        st += r.rate.storage_bytes(self.duration_s);
+                        bw += share * r.rate.kbps() as f64;
+                    }
+                }
+                (st, bw)
+            };
+            if storage <= spec.storage_bytes && bandwidth <= spec.bandwidth_kbps as f64 + 1e-6 {
+                return true;
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return false;
+            }
+            // Victim: the lowest-rate replica on this server, preferring
+            // ones that can step down; otherwise a droppable one.
+            let mut downgrade: Option<(usize, usize)> = None; // (video, replica idx)
+            let mut droppable: Option<(usize, usize)> = None;
+            for (v, reps) in state.replicas.iter().enumerate() {
+                for (k, r) in reps.iter().enumerate() {
+                    if r.server != sid {
+                        continue;
+                    }
+                    if r.rate.step_down(&self.ladder).is_some()
+                        && downgrade.is_none_or(|(dv, dk)| {
+                            r.rate < state.replicas[dv][dk].rate
+                        })
+                    {
+                        downgrade = Some((v, k));
+                    }
+                    if reps.len() > 1
+                        && droppable.is_none_or(|(dv, dk)| {
+                            r.rate < state.replicas[dv][dk].rate
+                        })
+                    {
+                        droppable = Some((v, k));
+                    }
+                }
+            }
+            if let Some((v, k)) = downgrade {
+                let down = state.replicas[v][k]
+                    .rate
+                    .step_down(&self.ladder)
+                    .expect("checked");
+                state.replicas[v][k].rate = down;
+            } else if let Some((v, k)) = droppable {
+                state.replicas[v].remove(k);
+            } else {
+                return false;
+            }
+        }
+    }
+}
+
+impl AnnealProblem for MultiRateProblem {
+    type State = MultiRateState;
+
+    fn energy(&self, state: &MultiRateState) -> f64 {
+        let mut e = -self.objective(state);
+        if !self.is_feasible(state) {
+            e += 1e9;
+        }
+        e
+    }
+
+    fn neighbor<R: Rng + ?Sized>(&self, state: &MultiRateState, rng: &mut R) -> MultiRateState {
+        let mut next = state.clone();
+        let n = self.n_servers();
+        let server = rng.gen_range(0..n);
+        let sid = ServerId(server as u32);
+
+        // Move mix: mostly upgrades and additions, with an occasional
+        // explicit drop so the chain can trade replicas back into rate
+        // headroom (without it, storage-saturated replica-heavy states
+        // are a strong local optimum).
+        let dice = rng.gen_range(0..10);
+        if dice == 0 {
+            let droppable: Vec<(usize, usize)> = next
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, reps)| reps.len() > 1)
+                .flat_map(|(v, reps)| {
+                    reps.iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.server == sid)
+                        .map(move |(k, _)| (v, k))
+                })
+                .collect();
+            if droppable.is_empty() {
+                return state.clone();
+            }
+            let (v, k) = droppable[rng.gen_range(0..droppable.len())];
+            next.replicas[v].remove(k);
+            return next; // dropping load never violates constraints
+        }
+
+        let mut moved = false;
+        if dice < 5 {
+            // Upgrade one replica hosted on the server.
+            let hosted: Vec<(usize, usize)> = next
+                .replicas
+                .iter()
+                .enumerate()
+                .flat_map(|(v, reps)| {
+                    reps.iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.server == sid)
+                        .map(move |(k, _)| (v, k))
+                })
+                .collect();
+            if !hosted.is_empty() {
+                let (v, k) = hosted[rng.gen_range(0..hosted.len())];
+                if let Some(up) = next.replicas[v][k].rate.step_up(&self.ladder) {
+                    next.replicas[v][k].rate = up;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            // Add a lowest-rate replica of a video absent from the server.
+            let absent: Vec<usize> = next
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, reps)| reps.len() < n && !reps.iter().any(|r| r.server == sid))
+                .map(|(v, _)| v)
+                .collect();
+            if absent.is_empty() {
+                return state.clone();
+            }
+            let v = absent[rng.gen_range(0..absent.len())];
+            next.replicas[v].push(RatedReplica {
+                server: sid,
+                rate: self.ladder[0],
+            });
+        }
+
+        let mut ok = self.repair(&mut next, server);
+        if ok {
+            // Adding/removing replicas shifts shares on other servers too.
+            for j in 0..n {
+                if j != server {
+                    ok = self.repair(&mut next, j);
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        if ok && self.is_feasible(&next) {
+            next
+        } else {
+            state.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{anneal, AnnealParams};
+    use crate::schedule::CoolingSchedule;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vod_model::ServerSpec;
+
+    fn problem(weighted: bool) -> MultiRateProblem {
+        let low_bytes = BitRate::LADDER[0].storage_bytes(5_400);
+        MultiRateProblem::new(
+            Popularity::zipf(12, 1.0).unwrap(),
+            ClusterSpec::homogeneous(
+                4,
+                ServerSpec {
+                    storage_bytes: 8 * low_bytes,
+                    bandwidth_kbps: 1_800_000,
+                },
+            )
+            .unwrap(),
+            5_400,
+            BitRate::LADDER.to_vec(),
+            1_500.0,
+            ObjectiveWeights::default(),
+            weighted,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_is_feasible() {
+        let p = problem(false);
+        let s = p.initial_state();
+        assert!(p.is_feasible(&s));
+        assert!((s.degree() - 1.0).abs() < 1e-12);
+        assert!((s.delivered_mbps(0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_preserves_feasibility_and_identity() {
+        let p = problem(false);
+        let mut s = p.initial_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..400 {
+            s = p.neighbor(&s, &mut rng);
+            assert!(p.is_feasible(&s));
+            assert!(s.replicas.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn replicas_of_one_video_can_differ_in_rate() {
+        // The defining capability of the extension: walk until some video
+        // holds replicas at two different rates.
+        let p = problem(false);
+        let mut s = p.initial_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let mut found = false;
+        for _ in 0..2_000 {
+            s = p.neighbor(&s, &mut rng);
+            if s.replicas.iter().any(|reps| {
+                reps.len() > 1 && reps.iter().any(|r| r.rate != reps[0].rate)
+            }) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no mixed-rate video emerged in 2000 moves");
+    }
+
+    #[test]
+    fn annealing_improves_objective() {
+        let p = problem(false);
+        let initial = p.initial_state();
+        let o0 = p.objective(&initial);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let result = anneal(
+            &p,
+            initial,
+            &AnnealParams {
+                schedule: CoolingSchedule::default_geometric(0.5),
+                epochs: 50,
+                steps_per_epoch: 60,
+            },
+            &mut rng,
+        );
+        assert!(p.objective(&result.best_state) > o0);
+        assert!(p.is_feasible(&result.best_state));
+    }
+
+    #[test]
+    fn weighted_objective_prefers_hot_title_quality() {
+        // Same state, two objectives (β = 0 isolates the quality term):
+        // raising the top title's delivered rate moves the weighted
+        // objective more than the unweighted one.
+        let quality_only = ObjectiveWeights::new(1.0, 0.0).unwrap();
+        let mut pu = problem(false);
+        pu.weights = quality_only;
+        let mut pw = problem(true);
+        pw.weights = quality_only;
+        let base = pu.initial_state();
+        let mut upgraded = base.clone();
+        upgraded.replicas[0][0].rate = BitRate::LADDER[1];
+
+        let du = pu.objective(&upgraded) - pu.objective(&base);
+        let dw = pw.objective(&upgraded) - pw.objective(&base);
+        assert!(du > 0.0 && dw > 0.0);
+        // p_0 ≈ 0.32 under Zipf(12, 1.0) > 1/12: the weighted gain is larger.
+        assert!(dw > du, "weighted {dw} should exceed unweighted {du}");
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let tiny = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: 1,
+                bandwidth_kbps: 1_000_000,
+            },
+        )
+        .unwrap();
+        assert!(MultiRateProblem::new(
+            Popularity::zipf(4, 0.5).unwrap(),
+            tiny,
+            5_400,
+            BitRate::LADDER.to_vec(),
+            100.0,
+            ObjectiveWeights::default(),
+            false,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,543 @@
+//! The paper's scalable-bit-rate replication/placement problem (Sec. 4.3).
+//!
+//! "We consider the general case that the encoding bit rate is scalable and
+//! different videos can have different bit rates. The encoding bit rate is
+//! a discrete variable and its set is given." A state assigns every video
+//! a rung on the rate ladder and a set of distinct servers; the annealer
+//! maximizes the Eq. (1) objective (implemented as minimizing its
+//! negation). The three problem-specific pieces follow the paper exactly:
+//!
+//! 1. **Cost function** — `−O` from Eq. (1);
+//! 2. **Initial solution** — "place the videos encoded with the lowest
+//!    possible bit rate to servers in a round-robin way";
+//! 3. **Neighborhood** — "a server in the cluster is identified by random.
+//!    The bit rate of one video that has been placed on this server is
+//!    increased or one new video is placed on the server", followed by
+//!    constraint repair: "the algorithm will decrease the bit rate of one
+//!    or more videos that have been placed on the server, or delete one or
+//!    more videos that are placed with the lowest bit rate so that the
+//!    storage and communication constraints can be satisfied" (we delete
+//!    *replicas*, never a video's last copy, preserving constraint 7).
+//!
+//! Expected bandwidth load: one replica of video `i` carries
+//! `w_i · b_i = (p_i · demand / r_i) · b_i` kbps of expected outgoing
+//! traffic, compared against the server's link capacity (constraint 5).
+
+use crate::engine::AnnealProblem;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vod_model::{
+    load, BitRate, ClusterSpec, ModelError, ObjectiveWeights, Popularity, ServerId,
+};
+
+/// Problem data (immutable across the search).
+#[derive(Debug, Clone)]
+pub struct ScalableProblem {
+    /// Video popularities (rank-ordered).
+    pub pop: Popularity,
+    /// The cluster's capacities.
+    pub cluster: ClusterSpec,
+    /// Video duration in seconds (uniform, per the paper).
+    pub duration_s: u64,
+    /// The discrete bit-rate ladder, ascending.
+    pub ladder: Vec<BitRate>,
+    /// Expected peak-period demand `λT`, in requests.
+    pub demand: f64,
+    /// Objective weights `α`, `β` and the `L` metric of Eq. (1).
+    pub weights: ObjectiveWeights,
+}
+
+/// A search-space point: per-video bit rate and replica servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalableState {
+    /// Encoding rate of each video (shared by all its replicas).
+    pub rates: Vec<BitRate>,
+    /// Replica servers of each video (pairwise distinct per video).
+    pub assignments: Vec<Vec<ServerId>>,
+}
+
+impl ScalableProblem {
+    /// Validates the inputs and checks the lowest-rate single-copy
+    /// catalog fits the cluster at all.
+    pub fn new(
+        pop: Popularity,
+        cluster: ClusterSpec,
+        duration_s: u64,
+        ladder: Vec<BitRate>,
+        demand: f64,
+        weights: ObjectiveWeights,
+    ) -> Result<Self, ModelError> {
+        if ladder.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        if !ladder.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ModelError::InvalidParameter {
+                name: "ladder (must ascend)",
+                value: ladder.len() as f64,
+            });
+        }
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "demand",
+                value: demand,
+            });
+        }
+        let problem = ScalableProblem {
+            pop,
+            cluster,
+            duration_s,
+            ladder,
+            demand,
+            weights,
+        };
+        let initial = problem.initial_state();
+        if !problem.is_feasible(&initial) {
+            return Err(ModelError::InsufficientStorage {
+                required: problem.pop.len() as u64,
+                capacity: problem.cluster.total_replica_slots(
+                    problem.ladder[0],
+                    problem.duration_s,
+                ),
+            });
+        }
+        Ok(problem)
+    }
+
+    /// Number of videos.
+    pub fn n_videos(&self) -> usize {
+        self.pop.len()
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// The paper's initial solution: every video at the lowest rate, one
+    /// replica each, dealt round-robin.
+    pub fn initial_state(&self) -> ScalableState {
+        let n = self.n_servers();
+        ScalableState {
+            rates: vec![self.ladder[0]; self.n_videos()],
+            assignments: (0..self.n_videos())
+                .map(|v| vec![ServerId((v % n) as u32)])
+                .collect(),
+        }
+    }
+
+    /// Per-server storage use in bytes.
+    pub fn storage_used(&self, state: &ScalableState) -> Vec<u64> {
+        let mut used = vec![0u64; self.n_servers()];
+        for (v, servers) in state.assignments.iter().enumerate() {
+            let bytes = state.rates[v].storage_bytes(self.duration_s);
+            for &s in servers {
+                used[s.index()] += bytes;
+            }
+        }
+        used
+    }
+
+    /// Per-server expected outgoing load in kbps.
+    pub fn bandwidth_load(&self, state: &ScalableState) -> Vec<f64> {
+        let mut loads = vec![0.0f64; self.n_servers()];
+        for (v, servers) in state.assignments.iter().enumerate() {
+            let r = servers.len() as f64;
+            let per_replica = self.pop.get(v) * self.demand / r * state.rates[v].kbps() as f64;
+            for &s in servers {
+                loads[s.index()] += per_replica;
+            }
+        }
+        loads
+    }
+
+    /// Whether `server` satisfies constraints (4) and (5) in `state`.
+    fn server_ok(&self, state: &ScalableState, server: usize) -> bool {
+        let spec = &self.cluster.servers()[server];
+        let storage: u64 = state
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, servers)| servers.contains(&ServerId(server as u32)))
+            .map(|(v, _)| state.rates[v].storage_bytes(self.duration_s))
+            .sum();
+        if storage > spec.storage_bytes {
+            return false;
+        }
+        let load: f64 = state
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, servers)| servers.contains(&ServerId(server as u32)))
+            .map(|(v, servers)| {
+                self.pop.get(v) * self.demand / servers.len() as f64
+                    * state.rates[v].kbps() as f64
+            })
+            .sum();
+        load <= spec.bandwidth_kbps as f64 + 1e-6
+    }
+
+    /// Whether every constraint holds: storage (4), bandwidth (5),
+    /// distinct servers (6), `1 ≤ r_i ≤ N` (7), ladder membership.
+    pub fn is_feasible(&self, state: &ScalableState) -> bool {
+        let n = self.n_servers();
+        for (v, servers) in state.assignments.iter().enumerate() {
+            if servers.is_empty() || servers.len() > n {
+                return false;
+            }
+            for (i, &s) in servers.iter().enumerate() {
+                if s.index() >= n || servers[..i].contains(&s) {
+                    return false;
+                }
+            }
+            if !state.rates[v].in_ladder(&self.ladder) {
+                return false;
+            }
+        }
+        let used = self.storage_used(state);
+        let loads = self.bandwidth_load(state);
+        self.cluster
+            .servers()
+            .iter()
+            .zip(used.iter().zip(&loads))
+            .all(|(spec, (&u, &l))| {
+                u <= spec.storage_bytes && l <= spec.bandwidth_kbps as f64 + 1e-6
+            })
+    }
+
+    /// The Eq. (1) objective `O` of a state (higher is better).
+    pub fn objective(&self, state: &ScalableState) -> f64 {
+        let m = self.n_videos() as f64;
+        let mean_rate_mbps = state.rates.iter().map(|r| r.mbps()).sum::<f64>() / m;
+        let degree = state
+            .assignments
+            .iter()
+            .map(|s| s.len() as f64)
+            .sum::<f64>()
+            / m;
+        let loads = self.bandwidth_load(state);
+        let l = load::imbalance(&loads, self.weights.metric);
+        self.weights.evaluate_components(mean_rate_mbps, degree, l)
+    }
+
+    /// Repairs `state` in place after a load-increasing move on `server`:
+    /// while the server violates (4)/(5), step the lowest-rate video on it
+    /// down the ladder, or drop a replica (never the last one). Returns
+    /// false if the violation cannot be repaired.
+    fn repair(&self, state: &mut ScalableState, server: usize) -> bool {
+        let sid = ServerId(server as u32);
+        let mut guard = 0;
+        while !self.server_ok(state, server) {
+            guard += 1;
+            if guard > 10_000 {
+                return false;
+            }
+            // Videos on this server, lowest rate first, least popular
+            // first among ties.
+            let victim = state
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, servers)| servers.contains(&sid))
+                .map(|(v, _)| v)
+                .min_by(|&a, &b| {
+                    state.rates[a]
+                        .cmp(&state.rates[b])
+                        .then(b.cmp(&a)) // less popular (higher index) first
+                });
+            let Some(v) = victim else {
+                return false; // nothing on the server yet it violates: impossible
+            };
+            if let Some(down) = state.rates[v].step_down(&self.ladder) {
+                state.rates[v] = down;
+            } else if state.assignments[v].len() > 1 {
+                state.assignments[v].retain(|&s| s != sid);
+            } else {
+                // Last replica at the lowest rate: look for any *other*
+                // removable or downgradable video on the server.
+                let other = state
+                    .assignments
+                    .iter()
+                    .enumerate()
+                    .filter(|(u, servers)| {
+                        *u != v
+                            && servers.contains(&sid)
+                            && (state.rates[*u].step_down(&self.ladder).is_some()
+                                || servers.len() > 1)
+                    })
+                    .map(|(u, _)| u)
+                    .next();
+                match other {
+                    Some(u) => {
+                        if let Some(down) = state.rates[u].step_down(&self.ladder) {
+                            state.rates[u] = down;
+                        } else {
+                            state.assignments[u].retain(|&s| s != sid);
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+impl AnnealProblem for ScalableProblem {
+    type State = ScalableState;
+
+    /// Energy is `−O`; infeasible states (which repair should prevent)
+    /// are pushed out by a large penalty.
+    fn energy(&self, state: &ScalableState) -> f64 {
+        let mut e = -self.objective(state);
+        if !self.is_feasible(state) {
+            e += 1e9;
+        }
+        e
+    }
+
+    fn neighbor<R: Rng + ?Sized>(&self, state: &ScalableState, rng: &mut R) -> ScalableState {
+        let mut next = state.clone();
+        let n = self.n_servers();
+        let server = rng.gen_range(0..n);
+        let sid = ServerId(server as u32);
+
+        let try_upgrade = rng.gen::<bool>();
+        let mut moved = false;
+
+        if try_upgrade {
+            // Raise the rate of a random video hosted on the server.
+            let hosted: Vec<usize> = next
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, servers)| servers.contains(&sid))
+                .map(|(v, _)| v)
+                .collect();
+            if !hosted.is_empty() {
+                let v = hosted[rng.gen_range(0..hosted.len())];
+                if let Some(up) = next.rates[v].step_up(&self.ladder) {
+                    next.rates[v] = up;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            // Place a new replica of a random absent video on the server.
+            let absent: Vec<usize> = next
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, servers)| !servers.contains(&sid) && servers.len() < n)
+                .map(|(v, _)| v)
+                .collect();
+            if absent.is_empty() {
+                return state.clone(); // saturated server: no move
+            }
+            let v = absent[rng.gen_range(0..absent.len())];
+            next.assignments[v].push(sid);
+            moved = true;
+        }
+        debug_assert!(moved);
+
+        // The move may overload any server a re-rated video touches.
+        let mut ok = self.repair(&mut next, server);
+        if ok {
+            for j in 0..n {
+                if j != server && !self.server_ok(&next, j) {
+                    ok = self.repair(&mut next, j);
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        if ok && self.is_feasible(&next) {
+            next
+        } else {
+            state.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{anneal, AnnealParams};
+    use crate::schedule::CoolingSchedule;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vod_model::ServerSpec;
+
+    fn small_problem() -> ScalableProblem {
+        let pop = Popularity::zipf(12, 0.75).unwrap();
+        // 4 servers; storage for ~6 low-rate replicas each; generous links.
+        let low_bytes = BitRate::LADDER[0].storage_bytes(5_400);
+        let cluster = ClusterSpec::homogeneous(
+            4,
+            ServerSpec {
+                storage_bytes: 6 * low_bytes,
+                bandwidth_kbps: 1_800_000,
+            },
+        )
+        .unwrap();
+        ScalableProblem::new(
+            pop,
+            cluster,
+            5_400,
+            BitRate::LADDER.to_vec(),
+            2_000.0,
+            ObjectiveWeights::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_feasible_round_robin() {
+        let p = small_problem();
+        let s = p.initial_state();
+        assert!(p.is_feasible(&s));
+        assert!(s.rates.iter().all(|&r| r == BitRate::LADDER[0]));
+        assert_eq!(s.assignments[0], vec![ServerId(0)]);
+        assert_eq!(s.assignments[5], vec![ServerId(1)]);
+    }
+
+    #[test]
+    fn neighbor_preserves_feasibility() {
+        let p = small_problem();
+        let mut s = p.initial_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            s = p.neighbor(&s, &mut rng);
+            assert!(p.is_feasible(&s));
+        }
+    }
+
+    #[test]
+    fn neighbor_never_drops_a_video() {
+        let p = small_problem();
+        let mut s = p.initial_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..500 {
+            s = p.neighbor(&s, &mut rng);
+            assert!(s.assignments.iter().all(|a| !a.is_empty()));
+        }
+    }
+
+    #[test]
+    fn annealing_improves_objective() {
+        let p = small_problem();
+        let initial = p.initial_state();
+        let o0 = p.objective(&initial);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let result = anneal(
+            &p,
+            initial,
+            &AnnealParams {
+                schedule: CoolingSchedule::default_geometric(0.5),
+                epochs: 60,
+                steps_per_epoch: 50,
+            },
+            &mut rng,
+        );
+        let o_best = p.objective(&result.best_state);
+        assert!(
+            o_best > o0,
+            "SA failed to improve: {o_best} vs initial {o0}"
+        );
+        assert!(p.is_feasible(&result.best_state));
+    }
+
+    #[test]
+    fn objective_components_make_sense() {
+        let p = small_problem();
+        let s = p.initial_state();
+        // Initial: 1.5 Mbps mean rate, degree 1, some imbalance >= 0.
+        let o = p.objective(&s);
+        assert!(o <= 1.5 + 1.0);
+        assert!(o > 0.0);
+    }
+
+    #[test]
+    fn storage_and_bandwidth_accounting() {
+        let p = small_problem();
+        let s = p.initial_state();
+        let used = p.storage_used(&s);
+        let low_bytes = BitRate::LADDER[0].storage_bytes(5_400);
+        // 12 videos round-robin on 4 servers: 3 replicas each.
+        assert!(used.iter().all(|&u| u == 3 * low_bytes));
+        let loads = p.bandwidth_load(&s);
+        let total: f64 = loads.iter().sum();
+        // Total expected load = demand * mean rate = 2000 * 1500 kbps.
+        assert!((total - 2_000.0 * 1_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn infeasible_state_penalized() {
+        let p = small_problem();
+        let mut s = p.initial_state();
+        // Cram every video onto server 0 at the top rate: infeasible.
+        for (v, a) in s.assignments.iter_mut().enumerate() {
+            *a = vec![ServerId(0)];
+            s.rates[v] = BitRate::STUDIO;
+        }
+        assert!(!p.is_feasible(&s));
+        assert!(p.energy(&s) > 1e8);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let pop = Popularity::zipf(4, 0.5).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: 1, // can't hold anything
+                bandwidth_kbps: 1_000_000,
+            },
+        )
+        .unwrap();
+        assert!(ScalableProblem::new(
+            pop.clone(),
+            cluster.clone(),
+            5_400,
+            BitRate::LADDER.to_vec(),
+            100.0,
+            ObjectiveWeights::default(),
+        )
+        .is_err());
+        // Unsorted ladder rejected.
+        let big = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 1_000_000,
+            },
+        )
+        .unwrap();
+        assert!(ScalableProblem::new(
+            pop,
+            big,
+            5_400,
+            vec![BitRate::MPEG2, BitRate::MPEG1],
+            100.0,
+            ObjectiveWeights::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constraint_7_respected_after_long_walk() {
+        let p = small_problem();
+        let mut s = p.initial_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..300 {
+            s = p.neighbor(&s, &mut rng);
+        }
+        for servers in &s.assignments {
+            assert!(servers.len() <= p.n_servers());
+            let mut sorted = servers.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), servers.len());
+        }
+    }
+}

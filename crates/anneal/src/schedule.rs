@@ -1,0 +1,113 @@
+//! Cooling schedules.
+//!
+//! A schedule maps the epoch index to a temperature. Geometric cooling
+//! (`T_k = T_0 · α^k`) is the workhorse; linear cooling is provided for
+//! ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// Temperature as a function of the epoch index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoolingSchedule {
+    /// `T_k = t0 · alpha^k`, floored at `t_min`.
+    Geometric {
+        /// Initial temperature.
+        t0: f64,
+        /// Cooling factor in (0, 1).
+        alpha: f64,
+        /// Floor temperature (> 0 keeps acceptance defined).
+        t_min: f64,
+    },
+    /// `T_k = t0 · (1 − k/epochs)`, floored at `t_min`.
+    Linear {
+        /// Initial temperature.
+        t0: f64,
+        /// Total number of epochs the ramp spans.
+        epochs: u32,
+        /// Floor temperature.
+        t_min: f64,
+    },
+}
+
+impl CoolingSchedule {
+    /// A reasonable default: start hot enough to accept most uphill moves,
+    /// cool by 5% per epoch, floor near zero.
+    pub fn default_geometric(t0: f64) -> Self {
+        CoolingSchedule::Geometric {
+            t0,
+            alpha: 0.95,
+            t_min: 1e-6,
+        }
+    }
+
+    /// Temperature at epoch `k`.
+    pub fn temperature(&self, k: u32) -> f64 {
+        match *self {
+            CoolingSchedule::Geometric { t0, alpha, t_min } => {
+                (t0 * alpha.powi(k as i32)).max(t_min)
+            }
+            CoolingSchedule::Linear { t0, epochs, t_min } => {
+                // epochs == 0 degenerates to a constant-temperature chain.
+                let frac = if epochs == 0 {
+                    1.0
+                } else {
+                    1.0 - (k as f64 / epochs as f64)
+                };
+                (t0 * frac.max(0.0)).max(t_min)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decays() {
+        let s = CoolingSchedule::Geometric {
+            t0: 10.0,
+            alpha: 0.5,
+            t_min: 0.01,
+        };
+        assert_eq!(s.temperature(0), 10.0);
+        assert_eq!(s.temperature(1), 5.0);
+        assert_eq!(s.temperature(2), 2.5);
+        // Floors at t_min.
+        assert_eq!(s.temperature(100), 0.01);
+    }
+
+    #[test]
+    fn linear_ramps_to_floor() {
+        let s = CoolingSchedule::Linear {
+            t0: 8.0,
+            epochs: 4,
+            t_min: 0.5,
+        };
+        assert_eq!(s.temperature(0), 8.0);
+        assert_eq!(s.temperature(2), 4.0);
+        assert_eq!(s.temperature(4), 0.5);
+        assert_eq!(s.temperature(9), 0.5);
+    }
+
+    #[test]
+    fn zero_epoch_linear_degenerates_safely() {
+        let s = CoolingSchedule::Linear {
+            t0: 8.0,
+            epochs: 0,
+            t_min: 0.5,
+        };
+        assert_eq!(s.temperature(0), 8.0);
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let s = CoolingSchedule::default_geometric(5.0);
+        let mut prev = f64::INFINITY;
+        for k in 0..200 {
+            let t = s.temperature(k);
+            assert!(t <= prev && t > 0.0);
+            prev = t;
+        }
+    }
+}

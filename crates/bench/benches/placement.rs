@@ -1,0 +1,46 @@
+//! Placement cost: round-robin vs smallest-load-first across catalog
+//! sizes (paper, Sec. 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vod_model::Popularity;
+use vod_placement::traits::PlacementInput;
+use vod_placement::{PlacementPolicy, RoundRobinPlacement, SmallestLoadFirstPlacement};
+use vod_replication::{BoundedAdamsReplication, ReplicationPolicy};
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+    let n_servers = 8;
+    for m in [200usize, 2_000, 20_000] {
+        let pop = Popularity::zipf(m, 0.75).unwrap();
+        let budget = ((1.4 * m as f64) as u64).div_ceil(8) * 8;
+        let scheme = BoundedAdamsReplication
+            .replicate(&pop, n_servers, budget)
+            .unwrap();
+        let weights = scheme.weights(&pop, 3_600.0).unwrap();
+        let capacities = vec![scheme.total().div_ceil(8); n_servers];
+        let input = PlacementInput {
+            scheme: &scheme,
+            weights: &weights,
+            n_servers,
+            capacities: &capacities,
+        };
+        group.bench_with_input(BenchmarkId::new("slf", m), &m, |b, _| {
+            b.iter(|| black_box(SmallestLoadFirstPlacement.place(black_box(&input)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", m), &m, |b, _| {
+            b.iter(|| black_box(RoundRobinPlacement.place(black_box(&input)).unwrap()))
+        });
+        // Incremental update cost (identity case: pure keep phase).
+        let previous = SmallestLoadFirstPlacement.place(&input).unwrap();
+        group.bench_with_input(BenchmarkId::new("incremental_identity", m), &m, |b, _| {
+            let policy = vod_placement::IncrementalPlacement::from_previous(previous.clone());
+            b.iter(|| black_box(policy.place(black_box(&input)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

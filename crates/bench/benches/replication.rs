@@ -1,0 +1,66 @@
+//! Complexity claims of Sec. 4.1: Adams vs Zipf-interval vs
+//! classification across catalog sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vod_model::Popularity;
+use vod_replication::{
+    BoundedAdamsReplication, ClassificationReplication, ReplicationPolicy,
+    ZipfIntervalReplication,
+};
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(20);
+    let n_servers = 8;
+    for m in [200usize, 2_000, 20_000] {
+        let pop = Popularity::zipf(m, 0.75).unwrap();
+        let budget = (1.4 * m as f64) as u64;
+        group.bench_with_input(BenchmarkId::new("adams", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    BoundedAdamsReplication
+                        .replicate(black_box(&pop), n_servers, budget)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("zipf_interval", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ZipfIntervalReplication::default()
+                        .replicate(black_box(&pop), n_servers, budget)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classification", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ClassificationReplication
+                        .replicate(black_box(&pop), n_servers, budget)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // The Adams worst case the paper cites — budget saturating at N·M.
+    let mut group = c.benchmark_group("replication_saturated");
+    group.sample_size(15);
+    let pop = Popularity::zipf(5_000, 0.75).unwrap();
+    group.bench_function("adams_full_nm", |b| {
+        b.iter(|| {
+            black_box(
+                BoundedAdamsReplication
+                    .replicate(black_box(&pop), 8, 40_000)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

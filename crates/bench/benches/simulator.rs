@@ -1,0 +1,51 @@
+//! Discrete-event engine throughput: requests simulated per second at the
+//! paper's scale and at 10× overload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vod_core::prelude::*;
+
+fn world(m: usize, slots: u64) -> (ClusterPlanner, Plan) {
+    let planner = ClusterPlanner::builder()
+        .catalog(Catalog::paper_default(m).unwrap())
+        .cluster(ClusterSpec::paper_default(slots))
+        .popularity(Popularity::zipf(m, 1.0).unwrap())
+        .demand_requests(3_600.0)
+        .build()
+        .unwrap();
+    let plan = planner
+        .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    (planner, plan)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(15);
+    let (planner, plan) = world(200, 30);
+    for lambda in [40.0f64, 400.0] {
+        let generator =
+            TraceGenerator::new(lambda, planner.popularity(), 90.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let trace = generator.generate(&mut rng);
+        let sim = Simulation::new(
+            planner.catalog(),
+            planner.cluster(),
+            &plan.layout,
+            SimConfig::default(),
+        )
+        .unwrap();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("replay", format!("lambda{lambda}")),
+            &lambda,
+            |b, _| b.iter(|| black_box(sim.run(black_box(&trace)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

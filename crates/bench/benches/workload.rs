@@ -1,0 +1,33 @@
+//! Workload substrate throughput: alias-table draws (the per-request hot
+//! path) and full trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vod_model::Popularity;
+use vod_workload::{TraceGenerator, ZipfSampler};
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    for m in [200usize, 20_000] {
+        let sampler = ZipfSampler::new(m, 0.75).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("zipf_sample", m), &m, |b, _| {
+            b.iter(|| black_box(sampler.sample(&mut rng)))
+        });
+    }
+
+    let pop = Popularity::zipf(200, 0.75).unwrap();
+    let generator = TraceGenerator::new(40.0, &pop, 90.0).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    group.throughput(Throughput::Elements(3_600));
+    group.bench_function("trace_90min_lambda40", |b| {
+        b.iter(|| black_box(generator.generate(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

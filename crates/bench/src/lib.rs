@@ -1,0 +1,11 @@
+//! Benchmark-only crate; all content lives in `benches/`.
+//!
+//! * `replication` — the Sec. 4 complexity claims: bounded Adams is
+//!   `O(M + (N·C−M) log M)`, Zipf-interval `O(M log M)`, across an M sweep;
+//! * `placement` — round-robin vs smallest-load-first cost;
+//! * `simulator` — request throughput of the discrete-event engine;
+//! * `workload` — alias-table sampling and trace generation;
+//! * `anneal` — SA move/energy throughput and a small end-to-end run;
+//! * `figures` — reduced single-run versions of every simulation figure
+//!   (4, 5, 6) and the quality/bound tables, so `cargo bench` exercises
+//!   each experiment's full code path.

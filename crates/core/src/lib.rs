@@ -1,0 +1,41 @@
+//! High-level facade for the VoD replication/placement reproduction.
+//!
+//! Most users want one call chain: *describe the cluster and catalog →
+//! choose algorithms → get a plan → predict or simulate its quality*. The
+//! [`planner::ClusterPlanner`] wraps the whole pipeline of Zhou & Xu
+//! (ICPP 2002):
+//!
+//! ```
+//! use vod_core::prelude::*;
+//!
+//! // The paper's setting: 8 servers, 1.8 Gbps links, storage for 30
+//! // replicas each; 200 videos at 4 Mbps; Zipf(θ=0.75) popularity.
+//! let planner = ClusterPlanner::builder()
+//!     .catalog(Catalog::paper_default(200).unwrap())
+//!     .cluster(ClusterSpec::paper_default(30))
+//!     .popularity(Popularity::zipf(200, 0.75).unwrap())
+//!     .demand_requests(3_600.0)
+//!     .build()
+//!     .unwrap();
+//!
+//! let plan = planner
+//!     .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+//!     .unwrap();
+//! assert!(plan.scheme.degree() > 1.0);
+//! assert!(plan.measured_imbalance_eq2 <= plan.imbalance_bound + 1e-9);
+//! ```
+//!
+//! The individual crates remain the fine-grained API: `vod-model`
+//! (formulation), `vod-replication` / `vod-placement` (Sec. 4 algorithms),
+//! `vod-anneal` (Sec. 4.3), `vod-sim` (Sec. 5 evaluation substrate),
+//! `vod-workload` (traces).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod planner;
+pub mod prelude;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DayReport, ReplanPlacement, ReplanStrategy};
+pub use planner::{ClusterPlanner, Plan, PlacementAlgo, ReplicationAlgo};

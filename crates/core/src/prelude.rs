@@ -1,0 +1,9 @@
+//! One-stop imports for facade users.
+
+pub use crate::planner::{ClusterPlanner, Plan, PlacementAlgo, ReplicationAlgo};
+pub use vod_model::{
+    BitRate, Catalog, ClusterSpec, ImbalanceMetric, Layout, ModelError, ObjectiveWeights,
+    Popularity, ReplicationScheme, ServerId, ServerSpec, Video, VideoId,
+};
+pub use vod_sim::{AdmissionPolicy, SimConfig, SimReport, Simulation};
+pub use vod_workload::{Trace, TraceGenerator, ZipfSampler};

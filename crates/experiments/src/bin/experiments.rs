@@ -1,0 +1,155 @@
+//! The experiment CLI.
+//!
+//! ```text
+//! experiments <command> [--fast] [--runs N] [--out DIR] [--no-files]
+//!
+//! commands:
+//!   all       every regenerator below, in order
+//!   fig1      Adams replication trace (paper Figure 1)
+//!   fig2      Zipf-interval scenario (Figure 2)
+//!   fig3      smallest-load-first trace (Figure 3)
+//!   fig4      rejection vs arrival rate across replication degrees (Figure 4)
+//!   fig5      rejection vs arrival rate across algorithm combos (Figure 5)
+//!   fig6      load-imbalance degree vs arrival rate (Figure 6)
+//!   quality   Adams vs Zipf granularity + timing (C-1)
+//!   bound     Theorem 4.2/4.3 bound tightness (C-2)
+//!   sa        scalable-bit-rate simulated annealing (SA-1)
+//!   ablation  admission-policy ablation (A-1)
+//!   availability  rejection under server failure vs replication degree (A-2)
+//!   drift     dynamic re-replication under popularity drift (A-3)
+//!   sa2       multi-rate replica extension, objective ablation (SA-2)
+//!   striping  striping-vs-replication architectural comparison (A-4)
+//! ```
+
+use std::process::ExitCode;
+use vod_experiments::report::Reporter;
+use vod_experiments::{ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, sa, sa_multirate, striping};
+use vod_experiments::PaperSetup;
+
+struct Args {
+    command: String,
+    fast: bool,
+    runs: Option<u32>,
+    out: Option<String>,
+    no_files: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        fast: false,
+        runs: None,
+        out: None,
+        no_files: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--fast" => args.fast = true,
+            "--no-files" => args.no_files = true,
+            "--runs" => {
+                let v = iter.next().ok_or("--runs needs a value")?;
+                args.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
+            }
+            "--out" => {
+                args.out = Some(iter.next().ok_or("--out needs a value")?);
+            }
+            cmd if !cmd.starts_with('-') && args.command.is_empty() => {
+                args.command = cmd.to_string();
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.command.is_empty() {
+        args.command = "all".to_string();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|striping> \
+                       [--fast] [--runs N] [--out DIR] [--no-files]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut setup = if args.fast {
+        PaperSetup::fast()
+    } else {
+        PaperSetup::default()
+    };
+    if let Some(runs) = args.runs {
+        setup.runs = runs;
+    }
+
+    let reporter = if args.no_files {
+        Reporter::stdout_only()
+    } else {
+        let dir = args.out.as_deref().unwrap_or("results");
+        match Reporter::with_dir(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot create output dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let result: Result<(), Box<dyn std::error::Error>> = (|| {
+        match args.command.as_str() {
+            "fig1" => fig1::run(&reporter)?,
+            "fig2" => fig2::run(&reporter)?,
+            "fig3" => fig3::run(&reporter)?,
+            "fig4" => fig4::run(&setup, &reporter)?,
+            "fig5" => fig5::run(&setup, &reporter)?,
+            "fig6" => fig6::run(&setup, &reporter)?,
+            "quality" => quality::run(&reporter)?,
+            "bound" => bound::run(&setup, &reporter)?,
+            "sa" => sa::run(&setup, &reporter)?,
+            "ablation" => ablation::run(&setup, &reporter)?,
+            "availability" => availability::run(&setup, &reporter)?,
+            "drift" => drift::run(&setup, &reporter)?,
+            "sa2" => sa_multirate::run(&setup, &reporter)?,
+            "striping" => striping::run(&setup, &reporter)?,
+            "all" => {
+                fig1::run(&reporter)?;
+                fig2::run(&reporter)?;
+                fig3::run(&reporter)?;
+                fig4::run(&setup, &reporter)?;
+                fig5::run(&setup, &reporter)?;
+                fig6::run(&setup, &reporter)?;
+                quality::run(&reporter)?;
+                bound::run(&setup, &reporter)?;
+                sa::run(&setup, &reporter)?;
+                ablation::run(&setup, &reporter)?;
+                availability::run(&setup, &reporter)?;
+                drift::run(&setup, &reporter)?;
+                sa_multirate::run(&setup, &reporter)?;
+                striping::run(&setup, &reporter)?;
+            }
+            other => return Err(format!("unknown command: {other}").into()),
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => {
+            eprintln!(
+                "done: {} in {:.1}s (runs per point: {})",
+                args.command,
+                started.elapsed().as_secs_f64(),
+                setup.runs
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

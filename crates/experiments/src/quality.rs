@@ -1,0 +1,131 @@
+//! C-1 — the Section 4/5 prose claims about the replication algorithms:
+//!
+//! * "the Zipf replication and the Adams replication achieved nearly the
+//!   same results in most test cases, except their time complexities";
+//! * Adams is O(M + (N·C − M) log M), Zipf-interval O(M log M).
+//!
+//! This regenerator measures both on one thread across a catalog-size
+//! sweep: the Eq. (8) granularity each scheme reaches, the optimality gap,
+//! and wall-clock time. (Criterion benches in `vod-bench` measure the
+//! same asymptotics with statistical rigor; this table is the quick
+//! human-readable summary.)
+
+use crate::report::{f3, Reporter, Table};
+use serde::Serialize;
+use std::time::Instant;
+use vod_model::Popularity;
+use vod_replication::{
+    granularity, BoundedAdamsReplication, ClassificationReplication, ReplicationPolicy,
+    ZipfIntervalReplication,
+};
+
+/// One row of the quality/timing comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct QualityRow {
+    /// Catalog size `M`.
+    pub m: usize,
+    /// Adams max replica weight (the Eq. 8 optimum).
+    pub adams_max_w: f64,
+    /// Zipf-interval max replica weight.
+    pub zipf_max_w: f64,
+    /// Classification max replica weight.
+    pub class_max_w: f64,
+    /// Zipf optimality gap vs Adams.
+    pub zipf_gap: f64,
+    /// Classification optimality gap vs Adams.
+    pub class_gap: f64,
+    /// Adams wall time (µs).
+    pub adams_us: u128,
+    /// Zipf wall time (µs).
+    pub zipf_us: u128,
+}
+
+/// Runs the comparison over a catalog-size sweep.
+pub fn compare(ms: &[usize], theta: f64, n_servers: usize, degree: f64) -> Vec<QualityRow> {
+    let mut rows = Vec::with_capacity(ms.len());
+    for &m in ms {
+        let pop = Popularity::zipf(m, theta).expect("valid zipf");
+        let budget = (degree * m as f64).round() as u64;
+
+        let t0 = Instant::now();
+        let adams = BoundedAdamsReplication
+            .replicate(&pop, n_servers, budget)
+            .expect("adams");
+        let adams_us = t0.elapsed().as_micros();
+
+        let t0 = Instant::now();
+        let zipf = ZipfIntervalReplication::default()
+            .replicate(&pop, n_servers, budget)
+            .expect("zipf");
+        let zipf_us = t0.elapsed().as_micros();
+
+        let class = ClassificationReplication
+            .replicate(&pop, n_servers, budget)
+            .expect("class");
+
+        let adams_max_w = adams.max_weight(&pop, 1.0).expect("weights");
+        let zipf_max_w = zipf.max_weight(&pop, 1.0).expect("weights");
+        let class_max_w = class.max_weight(&pop, 1.0).expect("weights");
+        rows.push(QualityRow {
+            m,
+            adams_max_w,
+            zipf_max_w,
+            class_max_w,
+            zipf_gap: granularity::optimality_gap(&pop, &zipf, &adams).expect("gap"),
+            class_gap: granularity::optimality_gap(&pop, &class, &adams).expect("gap"),
+            adams_us,
+            zipf_us,
+        });
+    }
+    rows
+}
+
+/// Regenerates the C-1 table.
+pub fn run(reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = compare(&[100, 200, 500, 1_000, 5_000, 20_000], 0.75, 8, 1.4);
+    let mut table = Table::new(
+        "C-1: Adams vs Zipf-interval replication — granularity and cost \
+         (θ = 0.75, N = 8, degree 1.4)",
+        &[
+            "M",
+            "adams max_w",
+            "zipf max_w",
+            "zipf gap",
+            "class gap",
+            "adams µs",
+            "zipf µs",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.m.to_string(),
+            f3(r.adams_max_w),
+            f3(r.zipf_max_w),
+            format!("{:.2}%", r.zipf_gap * 100.0),
+            format!("{:.2}%", r.class_gap * 100.0),
+            r.adams_us.to_string(),
+            r.zipf_us.to_string(),
+        ]);
+    }
+    reporter.emit_table("quality", &table)?;
+    reporter.emit_json("quality", &rows)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_nonnegative_and_small_for_zipf() {
+        let rows = compare(&[100, 300], 0.75, 8, 1.4);
+        for r in rows {
+            assert!(r.zipf_gap >= -1e-12);
+            assert!(r.class_gap >= -1e-12);
+            assert!(
+                r.zipf_gap <= r.class_gap + 1e-9,
+                "zipf should approximate the optimum at least as well as the baseline"
+            );
+        }
+    }
+}

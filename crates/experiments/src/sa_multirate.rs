@@ -1,0 +1,226 @@
+//! SA-2 — the multi-rate-replica extension (paper future work).
+//!
+//! Compares annealed solutions of three formulations on the same cluster
+//! and demand:
+//!
+//! 1. **single-rate** — the paper's Sec. 4.3 problem (all replicas of a
+//!    video share one rate);
+//! 2. **multi-rate, Eq. (1) quality** — per-replica rates, quality term
+//!    still the unweighted mean over videos;
+//! 3. **multi-rate, popularity-weighted quality** — the variant that
+//!    optimizes what viewers actually receive.
+//!
+//! The report shows the objective components plus the *viewer-weighted*
+//! delivered quality `Σ p_i · delivered_i` for all three, making the
+//! objective ablation visible: Eq. (1)'s unweighted mean happily leaves
+//! the hottest titles at low rates (upgrading an unpopular video is
+//! bandwidth-cheap), while the weighted variant spends its bandwidth on
+//! the head of the distribution.
+
+use crate::config::PaperSetup;
+use crate::report::{f3, Reporter, Table};
+use serde::Serialize;
+use vod_anneal::{
+    anneal_parallel, CoolingSchedule, MultiRateProblem, ParallelParams, ScalableProblem,
+};
+use vod_model::{BitRate, ObjectiveWeights, Popularity};
+
+/// Comparable summary of one formulation's annealed solution.
+#[derive(Debug, Clone, Serialize)]
+pub struct FormulationSummary {
+    /// Formulation label.
+    pub name: &'static str,
+    /// Its own objective value (not comparable across formulations).
+    pub objective: f64,
+    /// Unweighted mean delivered rate (Mbps).
+    pub mean_delivered_mbps: f64,
+    /// Popularity-weighted delivered rate (Mbps) — what a random viewer
+    /// receives in expectation.
+    pub viewer_mbps: f64,
+    /// Mean delivered rate of the top 10% of titles (Mbps).
+    pub head_mbps: f64,
+    /// Mean replication degree.
+    pub degree: f64,
+}
+
+fn anneal_params(seed: u64, m: usize) -> ParallelParams {
+    // Per-move deltas scale as 1/M; match the temperature to them (see
+    // the note in `crate::sa`).
+    let t0 = 20.0 / m as f64;
+    ParallelParams {
+        chains: 4,
+        epochs_per_round: 12,
+        rounds: 12,
+        steps_per_epoch: 700,
+        schedule: CoolingSchedule::Geometric {
+            t0,
+            alpha: 0.93,
+            t_min: t0 * 1e-4,
+        },
+        seed,
+    }
+}
+
+/// Runs the three formulations.
+pub fn compute(setup: &PaperSetup) -> Result<Vec<FormulationSummary>, Box<dyn std::error::Error>> {
+    let m = setup.n_videos;
+    let pop = Popularity::zipf(m, 1.0)?;
+    let cluster = setup.cluster(1.4);
+    let demand = setup.capacity_demand() * 0.6;
+    let weights = ObjectiveWeights::default();
+    let head = (m / 10).max(1);
+
+    let mut out = Vec::new();
+
+    // 1. Single-rate (paper Sec. 4.3).
+    let single_best = {
+        let problem = ScalableProblem::new(
+            pop.clone(),
+            cluster.clone(),
+            setup.duration_s,
+            BitRate::LADDER.to_vec(),
+            demand,
+            weights,
+        )?;
+        let result = anneal_parallel(&problem, problem.initial_state(), &anneal_params(0x5A21, m));
+        let s = &result.best_state;
+        let delivered: Vec<f64> = s.rates.iter().map(|r| r.mbps()).collect();
+        out.push(FormulationSummary {
+            name: "single-rate",
+            objective: problem.objective(s),
+            mean_delivered_mbps: delivered.iter().sum::<f64>() / m as f64,
+            viewer_mbps: delivered
+                .iter()
+                .enumerate()
+                .map(|(v, &d)| pop.get(v) * d)
+                .sum(),
+            head_mbps: delivered.iter().take(head).sum::<f64>() / head as f64,
+            degree: s.assignments.iter().map(|a| a.len() as f64).sum::<f64>() / m as f64,
+        });
+        result.best_state
+    };
+
+    // Warm start for the multi-rate runs: the single-rate optimum is a
+    // valid multi-rate state. The cold start converges to replica-heavy
+    // storage-saturated plateaus that dominate the walk (a real SA
+    // finding, recorded in EXPERIMENTS.md); starting inside the
+    // single-rate basin turns SA-2 into the clean question "does
+    // per-replica rate freedom improve on the paper's formulation?".
+    let warm_start = vod_anneal::MultiRateState {
+        replicas: single_best
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(v, servers)| {
+                servers
+                    .iter()
+                    .map(|&server| vod_anneal::RatedReplica {
+                        server,
+                        rate: single_best.rates[v],
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+
+    // 2 & 3. Multi-rate, both quality conventions.
+    for (name, weighted, seed) in [
+        ("multi-rate eq1", false, 0x5A22_u64),
+        ("multi-rate weighted", true, 0x5A23),
+    ] {
+        let problem = MultiRateProblem::new(
+            pop.clone(),
+            cluster.clone(),
+            setup.duration_s,
+            BitRate::LADDER.to_vec(),
+            demand,
+            weights,
+            weighted,
+        )?;
+        debug_assert!(problem.is_feasible(&warm_start));
+        let result = anneal_parallel(&problem, warm_start.clone(), &anneal_params(seed, m));
+        let s = &result.best_state;
+        let delivered: Vec<f64> = (0..m).map(|v| s.delivered_mbps(v)).collect();
+        out.push(FormulationSummary {
+            name,
+            objective: problem.objective(s),
+            mean_delivered_mbps: delivered.iter().sum::<f64>() / m as f64,
+            viewer_mbps: delivered
+                .iter()
+                .enumerate()
+                .map(|(v, &d)| pop.get(v) * d)
+                .sum(),
+            head_mbps: delivered.iter().take(head).sum::<f64>() / head as f64,
+            degree: s.degree(),
+        });
+    }
+    Ok(out)
+}
+
+/// Regenerates the SA-2 table.
+pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = compute(setup)?;
+    let mut table = Table::new(
+        "SA-2: multi-rate replicas (future work) — delivered quality by formulation \
+         (θ = 1.0, degree budget 1.4, demand 60% capacity)",
+        &[
+            "formulation",
+            "objective",
+            "mean Mbps",
+            "viewer Mbps",
+            "top-10% Mbps",
+            "degree",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.name.to_string(),
+            f3(r.objective),
+            f3(r.mean_delivered_mbps),
+            f3(r.viewer_mbps),
+            f3(r.head_mbps),
+            f3(r.degree),
+        ]);
+    }
+    reporter.emit_table("sa_multirate", &table)?;
+    reporter.emit_json("sa_multirate", &rows)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multirate_relaxation_never_loses_to_single_rate() {
+        // The guaranteed invariant (warm start + elitist exchange): on
+        // the *shared* Eq. (1) objective, the multi-rate relaxation ends
+        // at least as well as the single-rate solution it starts from.
+        // The viewer-quality ordering of the weighted variant is a
+        // full-scale claim, verified by the `sa2` experiment at M = 200
+        // and recorded in EXPERIMENTS.md — at toy scale the storage cap
+        // (degree <= 1.5 at M = 32) changes the economics entirely.
+        let setup = PaperSetup {
+            n_videos: 32,
+            runs: 1,
+            ..PaperSetup::default()
+        };
+        let rows = compute(&setup).unwrap();
+        let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
+        let single = get("single-rate");
+        let eq1 = get("multi-rate eq1");
+        assert!(
+            eq1.objective >= single.objective - 1e-9,
+            "relaxation {} lost to single-rate {}",
+            eq1.objective,
+            single.objective
+        );
+        // Everything stays within the ladder.
+        for r in &rows {
+            assert!(r.mean_delivered_mbps >= 1.5 - 1e-9);
+            assert!(r.mean_delivered_mbps <= 8.0 + 1e-9);
+            assert!(r.viewer_mbps >= 1.5 - 1e-9);
+            assert!(r.degree >= 1.0 - 1e-9);
+        }
+    }
+}

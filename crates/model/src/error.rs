@@ -1,0 +1,153 @@
+//! Error type for constraint violations and malformed model inputs.
+
+use crate::ids::{ServerId, VideoId};
+use std::fmt;
+
+/// Everything that can go wrong when constructing or validating model
+/// objects. Each variant corresponds to one of the paper's constraints or to
+/// a structural precondition of the formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A catalog, popularity vector or scheme was empty where `M ≥ 1` is
+    /// required.
+    Empty,
+    /// Vectors that must be indexed by the same video set differ in length.
+    LengthMismatch {
+        /// Expected number of videos `M`.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A popularity vector had a non-finite, negative, or non-normalizable
+    /// entry.
+    InvalidPopularity {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Constraint (7) violated: `1 ≤ r_i ≤ N` failed for some video.
+    ReplicaCountOutOfRange {
+        /// The video whose replica count is out of range.
+        video: VideoId,
+        /// The offending replica count.
+        count: u32,
+        /// Number of servers `N`.
+        servers: usize,
+    },
+    /// Constraint (6) violated: two replicas of one video share a server.
+    DuplicateServer {
+        /// The video with colliding replicas.
+        video: VideoId,
+        /// The server holding more than one of its replicas.
+        server: ServerId,
+    },
+    /// Constraint (4) violated: a server's storage capacity is exceeded.
+    StorageExceeded {
+        /// The overloaded server.
+        server: ServerId,
+        /// Bytes the layout would place there.
+        required: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+    /// Constraint (5) violated: a server's outgoing bandwidth is exceeded
+    /// by the expected communication load.
+    BandwidthExceeded {
+        /// The overloaded server.
+        server: ServerId,
+        /// Expected load in streams (or kbps, per context).
+        required: f64,
+        /// Capacity in the same unit.
+        capacity: f64,
+    },
+    /// A layout references a server outside the cluster.
+    UnknownServer(ServerId),
+    /// A layout or scheme references a video outside the catalog.
+    UnknownVideo(VideoId),
+    /// A parameter (θ, λ, α, β, …) is outside its meaningful domain.
+    InvalidParameter {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The cluster cannot hold even one replica of every video
+    /// (the formulation requires `r_i ≥ 1` for all videos).
+    InsufficientStorage {
+        /// Replica slots (or bytes) required.
+        required: u64,
+        /// Replica slots (or bytes) available across the cluster.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "model requires at least one video"),
+            ModelError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} videos, got {actual}")
+            }
+            ModelError::InvalidPopularity { index, value } => {
+                write!(f, "invalid popularity p[{index}] = {value}")
+            }
+            ModelError::ReplicaCountOutOfRange { video, count, servers } => write!(
+                f,
+                "constraint (7) violated: video {video} has {count} replicas, \
+                 must be in 1..={servers}"
+            ),
+            ModelError::DuplicateServer { video, server } => write!(
+                f,
+                "constraint (6) violated: video {video} has multiple replicas on server {server}"
+            ),
+            ModelError::StorageExceeded { server, required, capacity } => write!(
+                f,
+                "constraint (4) violated: server {server} needs {required} B of {capacity} B"
+            ),
+            ModelError::BandwidthExceeded { server, required, capacity } => write!(
+                f,
+                "constraint (5) violated: server {server} expected load {required:.3} \
+                 exceeds capacity {capacity:.3}"
+            ),
+            ModelError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            ModelError::UnknownVideo(v) => write!(f, "unknown video {v}"),
+            ModelError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} outside valid domain")
+            }
+            ModelError::InsufficientStorage { required, capacity } => write!(
+                f,
+                "cluster storage too small: {required} replica slots needed, {capacity} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_constraint_numbers() {
+        let e = ModelError::DuplicateServer {
+            video: VideoId(2),
+            server: ServerId(1),
+        };
+        assert!(e.to_string().contains("constraint (6)"));
+        let e = ModelError::ReplicaCountOutOfRange {
+            video: VideoId(0),
+            count: 9,
+            servers: 8,
+        };
+        assert!(e.to_string().contains("constraint (7)"));
+        assert!(e.to_string().contains("1..=8"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::Empty);
+        assert_eq!(e.to_string(), "model requires at least one video");
+    }
+}

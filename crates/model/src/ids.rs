@@ -1,0 +1,94 @@
+//! Integer newtype identifiers for videos and servers.
+//!
+//! The simulator and the placement algorithms index dense arrays by these
+//! ids, so both are thin wrappers around `u32` (see the type-size guidance in
+//! the Rust perf book: small integer ids, coerced to `usize` at use sites).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a video in a [`crate::Catalog`]; dense, 0-based.
+///
+/// By convention throughout this workspace video ids are assigned in
+/// non-increasing order of popularity: `VideoId(0)` is the most popular
+/// title. This mirrors the paper, which indexes videos `v_1 … v_M` with
+/// `p_1 ≥ p_2 ≥ … ≥ p_M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VideoId(pub u32);
+
+/// Identifier of a back-end server in a [`crate::ClusterSpec`]; dense, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl VideoId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ServerId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for VideoId {
+    fn from(v: u32) -> Self {
+        VideoId(v)
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(v: u32) -> Self {
+        ServerId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_id_roundtrip() {
+        let v = VideoId(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+        assert_eq!(VideoId::from(7u32), v);
+    }
+
+    #[test]
+    fn server_id_roundtrip() {
+        let s = ServerId(3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(s.to_string(), "s3");
+        assert_eq!(ServerId::from(3u32), s);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VideoId(1) < VideoId(2));
+        assert!(ServerId(0) < ServerId(5));
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<VideoId>(), 4);
+        assert_eq!(std::mem::size_of::<ServerId>(), 4);
+    }
+}

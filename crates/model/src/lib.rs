@@ -1,0 +1,53 @@
+//! Domain model for the video replication and placement problem studied in
+//! *Optimal Video Replication and Placement on a Cluster of Video-on-Demand
+//! Servers* (Zhou & Xu, ICPP 2002).
+//!
+//! The paper considers a cluster of `N` homogeneous back-end servers serving
+//! `M` distinct videos of equal duration. Each server has a storage capacity
+//! and an outgoing network bandwidth; each video is encoded at a constant bit
+//! rate and may be replicated wholly onto several servers. This crate holds
+//! the vocabulary every other crate speaks:
+//!
+//! * [`ids`] — `VideoId` / `ServerId` newtypes;
+//! * [`bitrate`] — constant encoding bit rates and the storage they imply;
+//! * [`video`] — videos and catalogs;
+//! * [`server`] — server and cluster specifications (constraint capacities);
+//! * [`popularity`] — Zipf-like relative popularity distributions;
+//! * [`replication`] — replication schemes `r = (r_1 … r_M)` and the
+//!   *communication weight* `w_i = p_i λT / r_i` of each replica;
+//! * [`layout`] — concrete placements of replicas onto servers, with
+//!   validation of the paper's constraints (4)–(7);
+//! * [`load`] — the load-imbalance degree `L`, in both of the paper's
+//!   definitions (Eq. 2 and Eq. 3);
+//! * [`objective`] — the combinatorial objective of Eq. (1).
+//!
+//! Everything here is deterministic and allocation-conscious; the stochastic
+//! machinery (samplers, traces) lives in `vod-workload`, algorithms in
+//! `vod-replication` / `vod-placement` / `vod-anneal`, and the discrete-event
+//! simulator in `vod-sim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitrate;
+pub mod error;
+pub mod ids;
+pub mod layout;
+pub mod load;
+pub mod objective;
+pub mod popularity;
+pub mod replication;
+pub mod server;
+pub mod summary;
+pub mod video;
+
+pub use bitrate::BitRate;
+pub use error::ModelError;
+pub use ids::{ServerId, VideoId};
+pub use layout::Layout;
+pub use load::{imbalance, ImbalanceMetric};
+pub use objective::ObjectiveWeights;
+pub use popularity::Popularity;
+pub use replication::ReplicationScheme;
+pub use server::{ClusterSpec, ServerSpec};
+pub use video::{Catalog, Video};

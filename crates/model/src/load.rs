@@ -1,0 +1,138 @@
+//! The load-imbalance degree `L` of the cluster.
+//!
+//! The paper gives two definitions (Sec. 3.2): the peak deviation from the
+//! mean (Eq. 2) and the standard deviation of server loads (Eq. 3),
+//! normalized by the mean load `l̄ = Σ l_j / N`. "Unless otherwise
+//! specified, we use the definition of Eq. (3)" — and so do we; both are
+//! implemented and selectable, since Theorem 4.2 bounds the Eq. (2) form.
+
+use serde::{Deserialize, Serialize};
+
+/// Which definition of the load-imbalance degree to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ImbalanceMetric {
+    /// Eq. (2): `L = max_j (l_j − l̄)` — the worst single-server excess
+    /// over the mean (absolute, in load units).
+    MaxDeviation,
+    /// Eq. (3): `L = sqrt(Σ_j (l_j − l̄)² / N) / l̄` — the coefficient of
+    /// variation of server loads (relative, dimensionless). The paper's
+    /// default; Figure 6 plots it in percent.
+    #[default]
+    CoefficientOfVariation,
+}
+
+/// Mean server load `l̄`.
+pub fn mean(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    loads.iter().sum::<f64>() / loads.len() as f64
+}
+
+/// Eq. (2): `max_j (l_j − l̄)`. Zero for an empty or perfectly balanced
+/// cluster.
+pub fn max_deviation(loads: &[f64]) -> f64 {
+    let l_bar = mean(loads);
+    loads
+        .iter()
+        .map(|&l| l - l_bar)
+        .fold(0.0f64, f64::max)
+}
+
+/// Population standard deviation of server loads,
+/// `sqrt(Σ (l_j − l̄)² / N)`.
+pub fn std_deviation(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let l_bar = mean(loads);
+    let var = loads.iter().map(|&l| (l - l_bar).powi(2)).sum::<f64>() / loads.len() as f64;
+    var.sqrt()
+}
+
+/// Eq. (3): the coefficient of variation `std / l̄`. Returns 0 when the
+/// mean load is 0 (idle cluster is perfectly balanced).
+pub fn coefficient_of_variation(loads: &[f64]) -> f64 {
+    let l_bar = mean(loads);
+    if l_bar <= 0.0 {
+        return 0.0;
+    }
+    std_deviation(loads) / l_bar
+}
+
+/// The imbalance degree under the chosen metric.
+pub fn imbalance(loads: &[f64], metric: ImbalanceMetric) -> f64 {
+    match metric {
+        ImbalanceMetric::MaxDeviation => max_deviation(loads),
+        ImbalanceMetric::CoefficientOfVariation => coefficient_of_variation(loads),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_cluster_has_zero_imbalance() {
+        let loads = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(max_deviation(&loads), 0.0);
+        assert_eq!(coefficient_of_variation(&loads), 0.0);
+    }
+
+    #[test]
+    fn max_deviation_measures_worst_excess() {
+        let loads = [2.0, 4.0, 6.0]; // mean 4
+        assert!((max_deviation(&loads) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        let loads = [2.0, 4.0, 6.0]; // mean 4, var (4+0+4)/3
+        let expected = (8.0f64 / 3.0).sqrt() / 4.0;
+        assert!((coefficient_of_variation(&loads) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cluster_is_balanced() {
+        let loads = [0.0, 0.0];
+        assert_eq!(coefficient_of_variation(&loads), 0.0);
+        assert_eq!(max_deviation(&loads), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_deviation(&[]), 0.0);
+        assert_eq!(imbalance(&[], ImbalanceMetric::default()), 0.0);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let loads = [1.0, 3.0];
+        assert_eq!(
+            imbalance(&loads, ImbalanceMetric::MaxDeviation),
+            max_deviation(&loads)
+        );
+        assert_eq!(
+            imbalance(&loads, ImbalanceMetric::CoefficientOfVariation),
+            coefficient_of_variation(&loads)
+        );
+    }
+
+    #[test]
+    fn default_metric_is_eq3() {
+        assert_eq!(
+            ImbalanceMetric::default(),
+            ImbalanceMetric::CoefficientOfVariation
+        );
+    }
+
+    #[test]
+    fn scale_invariance_of_cv() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((coefficient_of_variation(&a) - coefficient_of_variation(&b)).abs() < 1e-12);
+        // Max deviation, by contrast, scales with the loads.
+        assert!((max_deviation(&b) - 10.0 * max_deviation(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The combinatorial objective of Eq. (1).
+//!
+//! "We define the optimization objective as:
+//! `O = Σ b_i / M + α · Σ r_i / M − β · L`"
+//! where `b_i` is the encoding bit rate of video `v_i`, `r_i` its number of
+//! replicas, `L` the load-imbalance degree, and `α`, `β` relative weighting
+//! factors (paper, Sec. 3.2). Maximizing `O` trades off service quality
+//! (average bit rate) against service availability (average replication
+//! degree) and load balance.
+
+use crate::error::ModelError;
+use crate::load::{imbalance, ImbalanceMetric};
+use crate::replication::ReplicationScheme;
+use crate::video::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// Relative weighting factors `α` (replication degree) and `β` (load
+/// imbalance) of Eq. (1), plus the choice of imbalance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight of the average replication degree term.
+    pub alpha: f64,
+    /// Weight of the load-imbalance penalty.
+    pub beta: f64,
+    /// Which `L` definition the penalty uses.
+    pub metric: ImbalanceMetric,
+}
+
+impl Default for ObjectiveWeights {
+    /// Balanced weighting: bit rate measured in Mbps (order 1–8), degree in
+    /// replicas (order 1–8), L as a coefficient of variation (order 0–1);
+    /// unit weights put all three on comparable scales.
+    fn default() -> Self {
+        ObjectiveWeights {
+            alpha: 1.0,
+            beta: 1.0,
+            metric: ImbalanceMetric::CoefficientOfVariation,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// New weights with the default (Eq. 3) imbalance metric.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ModelError> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if !beta.is_finite() || beta < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        Ok(ObjectiveWeights {
+            alpha,
+            beta,
+            metric: ImbalanceMetric::CoefficientOfVariation,
+        })
+    }
+
+    /// Evaluates Eq. (1) from its three raw components: mean bit rate
+    /// (Mbps), mean replication degree, imbalance degree `L`.
+    #[inline]
+    pub fn evaluate_components(&self, mean_bitrate_mbps: f64, degree: f64, l: f64) -> f64 {
+        mean_bitrate_mbps + self.alpha * degree - self.beta * l
+    }
+
+    /// Evaluates Eq. (1) for a catalog (bit rates), a replication scheme
+    /// (degrees) and a vector of expected server loads.
+    pub fn evaluate(
+        &self,
+        catalog: &Catalog,
+        scheme: &ReplicationScheme,
+        loads: &[f64],
+    ) -> Result<f64, ModelError> {
+        if catalog.len() != scheme.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: catalog.len(),
+                actual: scheme.len(),
+            });
+        }
+        Ok(self.evaluate_components(
+            catalog.mean_bitrate_mbps(),
+            scheme.degree(),
+            imbalance(loads, self.metric),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrate::BitRate;
+
+    #[test]
+    fn component_form() {
+        let w = ObjectiveWeights::new(2.0, 3.0).unwrap();
+        // O = 4 + 2*1.5 - 3*0.2 = 6.4
+        assert!((w.evaluate_components(4.0, 1.5, 0.2) - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_evaluation() {
+        let catalog = Catalog::fixed_rate(4, BitRate::MPEG2, 5_400).unwrap();
+        let scheme = ReplicationScheme::new(vec![2, 2, 1, 1]).unwrap();
+        let w = ObjectiveWeights::default();
+        // Balanced loads -> L = 0 -> O = 4 + 1.5.
+        let o = w.evaluate(&catalog, &scheme, &[5.0, 5.0]).unwrap();
+        assert!((o - 5.5).abs() < 1e-12);
+        // Imbalance strictly reduces the objective.
+        let o2 = w.evaluate(&catalog, &scheme, &[2.0, 8.0]).unwrap();
+        assert!(o2 < o);
+    }
+
+    #[test]
+    fn higher_degree_higher_objective() {
+        let catalog = Catalog::fixed_rate(2, BitRate::MPEG2, 5_400).unwrap();
+        let w = ObjectiveWeights::default();
+        let low = ReplicationScheme::new(vec![1, 1]).unwrap();
+        let high = ReplicationScheme::new(vec![2, 2]).unwrap();
+        let loads = [1.0, 1.0];
+        assert!(
+            w.evaluate(&catalog, &high, &loads).unwrap()
+                > w.evaluate(&catalog, &low, &loads).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        assert!(ObjectiveWeights::new(-1.0, 0.0).is_err());
+        assert!(ObjectiveWeights::new(0.0, f64::NAN).is_err());
+        assert!(ObjectiveWeights::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        let catalog = Catalog::fixed_rate(3, BitRate::MPEG2, 5_400).unwrap();
+        let scheme = ReplicationScheme::new(vec![1, 1]).unwrap();
+        assert!(ObjectiveWeights::default()
+            .evaluate(&catalog, &scheme, &[1.0])
+            .is_err());
+    }
+}

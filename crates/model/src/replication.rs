@@ -1,0 +1,209 @@
+//! Replication schemes `r = (r_1, …, r_M)` and replica communication
+//! weights.
+//!
+//! "The communication weight of each replica of video v_i is defined as
+//! w_i = p_i λ T / r_i. By the use of a static round robin scheduling
+//! policy, the number of requests for video v_i to be serviced by each
+//! replica of v_i during the peak period is w_i" (paper, Sec. 3.2).
+//!
+//! The replication step (Eq. 8) minimizes `max_i w_i` subject to
+//! `Σ r_i = N·C` and constraint (7); because λT is a common positive factor
+//! this is equivalent to minimizing `max_i p_i / r_i`, so weights here are
+//! parameterized by an arbitrary `demand` factor (`λT`, or `1.0` for pure
+//! granularity comparisons).
+
+use crate::error::ModelError;
+use crate::ids::VideoId;
+use crate::popularity::Popularity;
+use serde::{Deserialize, Serialize};
+
+/// Number of replicas per video.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationScheme {
+    replicas: Vec<u32>,
+}
+
+impl ReplicationScheme {
+    /// A scheme from explicit per-video replica counts.
+    pub fn new(replicas: Vec<u32>) -> Result<Self, ModelError> {
+        if replicas.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        Ok(ReplicationScheme { replicas })
+    }
+
+    /// One replica per video — the non-replicated baseline of Fig. 4
+    /// ("non-replication").
+    pub fn single(m: usize) -> Result<Self, ModelError> {
+        Self::new(vec![1; m])
+    }
+
+    /// Number of videos `M`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always false: construction rejects empty schemes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Per-video replica counts, indexed by [`VideoId`].
+    #[inline]
+    pub fn replicas(&self) -> &[u32] {
+        &self.replicas
+    }
+
+    /// Replica count of one video.
+    #[inline]
+    pub fn count(&self, id: VideoId) -> u32 {
+        self.replicas[id.index()]
+    }
+
+    /// Adds one replica of `id` (the Adams iteration step).
+    #[inline]
+    pub fn duplicate(&mut self, id: VideoId) {
+        self.replicas[id.index()] += 1;
+    }
+
+    /// Total number of replicas `Σ r_i`.
+    pub fn total(&self) -> u64 {
+        self.replicas.iter().map(|&r| r as u64).sum()
+    }
+
+    /// The replication degree `Σ r_i / M` — the x-axis of Fig. 4.
+    pub fn degree(&self) -> f64 {
+        self.total() as f64 / self.replicas.len() as f64
+    }
+
+    /// Validates constraint (7): `1 ≤ r_i ≤ N` for every video.
+    pub fn validate(&self, n_servers: usize) -> Result<(), ModelError> {
+        for (i, &r) in self.replicas.iter().enumerate() {
+            if r == 0 || r as usize > n_servers {
+                return Err(ModelError::ReplicaCountOutOfRange {
+                    video: VideoId(i as u32),
+                    count: r,
+                    servers: n_servers,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-replica communication weights `w_i = p_i · demand / r_i`.
+    ///
+    /// `demand` is `λT` (expected requests in the peak period) when weights
+    /// are loads, or `1.0` when only relative granularity matters.
+    pub fn weights(&self, pop: &Popularity, demand: f64) -> Result<Vec<f64>, ModelError> {
+        if pop.len() != self.replicas.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: self.replicas.len(),
+                actual: pop.len(),
+            });
+        }
+        Ok(self
+            .replicas
+            .iter()
+            .zip(pop.p())
+            .map(|(&r, &p)| p * demand / r as f64)
+            .collect())
+    }
+
+    /// `max_i w_i` — the replication objective of Eq. (8).
+    pub fn max_weight(&self, pop: &Popularity, demand: f64) -> Result<f64, ModelError> {
+        Ok(self
+            .weights(pop, demand)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// `max_i w_i − min_i w_i` — the Theorem 4.2 bound on the load-imbalance
+    /// degree achieved by smallest-load-first placement.
+    pub fn weight_spread(&self, pop: &Popularity, demand: f64) -> Result<f64, ModelError> {
+        let w = self.weights(pop, demand)?;
+        let max = w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = w.iter().copied().fold(f64::INFINITY, f64::min);
+        Ok(max - min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop3() -> Popularity {
+        Popularity::from_weights(&[3.0, 2.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn totals_and_degree() {
+        let s = ReplicationScheme::new(vec![3, 2, 1]).unwrap();
+        assert_eq!(s.total(), 6);
+        assert!((s.degree() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(VideoId(0)), 3);
+    }
+
+    #[test]
+    fn single_baseline() {
+        let s = ReplicationScheme::single(4).unwrap();
+        assert_eq!(s.replicas(), &[1, 1, 1, 1]);
+        assert!((s.degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_constraint_7() {
+        let s = ReplicationScheme::new(vec![1, 3, 2]).unwrap();
+        assert!(s.validate(3).is_ok());
+        assert!(matches!(
+            s.validate(2),
+            Err(ModelError::ReplicaCountOutOfRange {
+                video: VideoId(1),
+                count: 3,
+                ..
+            })
+        ));
+        let z = ReplicationScheme::new(vec![1, 0]).unwrap();
+        assert!(matches!(
+            z.validate(3),
+            Err(ModelError::ReplicaCountOutOfRange { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn weights_divide_by_replicas() {
+        let s = ReplicationScheme::new(vec![2, 1, 1]).unwrap();
+        let w = s.weights(&pop3(), 6.0).unwrap();
+        // p = [1/2, 1/3, 1/6]; demand 6 => base loads [3, 2, 1].
+        assert!((w[0] - 1.5).abs() < 1e-12);
+        assert!((w[1] - 2.0).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        assert!((s.max_weight(&pop3(), 6.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.weight_spread(&pop3(), 6.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_increments() {
+        let mut s = ReplicationScheme::single(2).unwrap();
+        s.duplicate(VideoId(0));
+        assert_eq!(s.replicas(), &[2, 1]);
+    }
+
+    #[test]
+    fn weights_length_mismatch() {
+        let s = ReplicationScheme::single(2).unwrap();
+        assert!(matches!(
+            s.weights(&pop3(), 1.0),
+            Err(ModelError::LengthMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(ReplicationScheme::new(vec![]), Err(ModelError::Empty));
+    }
+}

@@ -1,0 +1,100 @@
+//! Human-readable summaries of schemes and layouts.
+//!
+//! Operators read plans before shipping them; these formatters render the
+//! planning artifacts the way the paper's figures do — per-video replica
+//! counts bucketed by rank, and per-server occupancy with expected loads.
+
+use crate::layout::Layout;
+use crate::replication::ReplicationScheme;
+use std::fmt::Write as _;
+
+/// Renders a replication scheme as a rank-bucketed histogram, e.g.
+///
+/// ```text
+/// degree 1.40 over 8 servers
+///   ranks   1..=10: 8 7 6 5 5 4 4 3 3 3
+///   ranks  11..=20: 2 2 2 2 1 1 1 1 1 1
+/// ```
+pub fn scheme_summary(scheme: &ReplicationScheme, n_servers: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "degree {:.2} over {} servers ({} replicas / {} videos)",
+        scheme.degree(),
+        n_servers,
+        scheme.total(),
+        scheme.len()
+    );
+    for (row, chunk) in scheme.replicas().chunks(10).enumerate() {
+        let start = row * 10 + 1;
+        let end = start + chunk.len() - 1;
+        let counts: Vec<String> = chunk.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(out, "  ranks {start:>4}..={end:<4}: {}", counts.join(" "));
+    }
+    out
+}
+
+/// Renders per-server occupancy: replica slots used and expected load,
+/// with a proportional bar.
+pub fn layout_summary(layout: &Layout, weights: &[f64]) -> String {
+    let mut out = String::new();
+    let loads = match layout.loads(weights) {
+        Ok(l) => l,
+        Err(e) => return format!("<invalid layout/weights: {e}>"),
+    };
+    let max_load = loads.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let counts = layout.replicas_per_server();
+    let _ = writeln!(
+        out,
+        "{} videos over {} servers",
+        layout.n_videos(),
+        layout.n_servers()
+    );
+    for (j, (&count, &l)) in counts.iter().zip(&loads).enumerate() {
+        let bar_len = ((l / max_load) * 30.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "  s{j:<3} {count:>4} replicas  load {l:>10.2}  {}",
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    #[test]
+    fn scheme_summary_shape() {
+        let scheme = ReplicationScheme::new(vec![3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let s = scheme_summary(&scheme, 4);
+        assert!(s.starts_with("degree 1.33 over 4 servers"));
+        assert!(s.contains("ranks    1..=10"));
+        assert!(s.contains("ranks   11..=12"));
+        assert!(s.contains("3 2 2 1 1 1 1 1 1 1"));
+    }
+
+    #[test]
+    fn layout_summary_shape() {
+        let layout = Layout::new(
+            2,
+            vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]],
+        )
+        .unwrap();
+        let s = layout_summary(&layout, &[4.0, 2.0]);
+        assert!(s.contains("2 videos over 2 servers"));
+        assert!(s.contains("s0      2 replicas"));
+        // s0 carries 6.0 (the max) => 30 hashes; s1 carries 4.0 => 20.
+        assert!(s.contains(&"#".repeat(30)));
+        assert!(s.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn layout_summary_reports_bad_weights() {
+        let layout = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+        let s = layout_summary(&layout, &[1.0, 2.0]);
+        assert!(s.starts_with("<invalid"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Incremental (migration-aware) placement.
+//!
+//! The paper notes its replication algorithms "can be applied for dynamic
+//! replication during run-time" — but re-running a from-scratch placement
+//! every epoch moves replicas wholesale, and copying a 2.7 GB replica
+//! across the backbone is the single most expensive operation a running
+//! cluster can perform. This module updates an existing layout toward a
+//! new replication scheme while touching as few replicas as possible:
+//!
+//! 1. **keep** — for every video, retain current servers up to the new
+//!    replica count (dropping from the most-loaded servers first when the
+//!    count shrinks; drops are free);
+//! 2. **add** — place additional replicas smallest-load-first among
+//!    servers with free slots not already holding the video;
+//! 3. **spill** — if a server ends over its slot capacity (the new scheme
+//!    packs differently), evict its lightest retained replicas and
+//!    re-place them as additions.
+//!
+//! The result satisfies constraints (4), (6), (7) like any other
+//! placement; balance is typically slightly worse than a fresh
+//! smallest-load-first run (the price of stability), which the A-3
+//! experiment quantifies against the migration savings.
+
+use crate::traits::{PlacementInput, PlacementPolicy};
+use vod_model::{Layout, ModelError, ServerId, VideoId};
+
+/// Migration-aware placement toward a new scheme, starting from an
+/// existing layout.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlacement {
+    previous: Layout,
+}
+
+impl IncrementalPlacement {
+    /// A policy that preserves as much of `previous` as possible.
+    pub fn from_previous(previous: Layout) -> Self {
+        IncrementalPlacement { previous }
+    }
+
+    /// Swap repair for the exact-fill dead-end: frees a slot for video
+    /// `v` on a server not holding it by relocating another video's
+    /// replica onto one of the free-slot servers. Returns the server
+    /// index now able to take `v`.
+    #[allow(clippy::too_many_arguments)]
+    fn swap_repair(
+        &self,
+        v: usize,
+        input: &PlacementInput<'_>,
+        assignments: &mut [Vec<ServerId>],
+        used_slots: &mut [u64],
+        loads: &mut [f64],
+    ) -> Result<usize, ModelError> {
+        let n = input.n_servers;
+        let stuck = ModelError::InsufficientStorage {
+            required: input.scheme.total(),
+            capacity: input.capacities.iter().sum::<u64>(),
+        };
+        // Free-slot servers (all of which hold v — that's the dead-end).
+        let frees: Vec<usize> = (0..n)
+            .filter(|&k| used_slots[k] < input.capacities[k])
+            .collect();
+        for &k in &frees {
+            let k_id = ServerId(k as u32);
+            for l in 0..n {
+                if l == k || assignments[v].contains(&ServerId(l as u32)) {
+                    continue;
+                }
+                // A video `u` on `l` that is absent from `k` can move.
+                let movable = (0..assignments.len()).find(|&u| {
+                    u != v
+                        && assignments[u].contains(&ServerId(l as u32))
+                        && !assignments[u].contains(&k_id)
+                });
+                if let Some(u) = movable {
+                    let l_id = ServerId(l as u32);
+                    assignments[u].retain(|&s| s != l_id);
+                    assignments[u].push(k_id);
+                    used_slots[l] -= 1;
+                    used_slots[k] += 1;
+                    loads[l] -= input.weights[u];
+                    loads[k] += input.weights[u];
+                    return Ok(l);
+                }
+            }
+        }
+        Err(stuck)
+    }
+
+    /// Replicas that `new` adds relative to `old` (copies to perform).
+    pub fn migration_cost(old: &Layout, new: &Layout) -> u64 {
+        let mut cost = 0u64;
+        for v in 0..new.n_videos() {
+            let vid = VideoId(v as u32);
+            let old_servers = old.replicas_of(vid);
+            cost += new
+                .replicas_of(vid)
+                .iter()
+                .filter(|s| !old_servers.contains(s))
+                .count() as u64;
+        }
+        cost
+    }
+}
+
+impl PlacementPolicy for IncrementalPlacement {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn place(&self, input: &PlacementInput<'_>) -> Result<Layout, ModelError> {
+        input.validate()?;
+        let n = input.n_servers;
+        if self.previous.n_servers() != n || self.previous.n_videos() != input.scheme.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: input.scheme.len(),
+                actual: self.previous.n_videos(),
+            });
+        }
+
+        let mut used_slots = vec![0u64; n];
+        let mut loads = vec![0.0f64; n];
+        let mut assignments: Vec<Vec<ServerId>> = vec![Vec::new(); input.scheme.len()];
+
+        // Phase 1 — keep: retain existing servers up to the new count,
+        // preferring to *drop* from the heaviest-loaded servers (free).
+        // Process videos heaviest-first so keeps of hot titles win slots.
+        let mut order: Vec<usize> = (0..input.scheme.len()).collect();
+        order.sort_by(|&a, &b| input.weights[b].total_cmp(&input.weights[a]).then(a.cmp(&b)));
+
+        // Pre-compute each server's prospective load if everything stayed,
+        // to rank drop candidates.
+        let old_loads = self.previous.loads(input.weights)?;
+
+        for &v in &order {
+            let vid = VideoId(v as u32);
+            let target = input.scheme.count(vid) as usize;
+            let mut current: Vec<ServerId> = self.previous.replicas_of(vid).to_vec();
+            // Keep the servers with the *lowest* old load (drop heavy).
+            current.sort_by(|a, b| {
+                old_loads[a.index()]
+                    .total_cmp(&old_loads[b.index()])
+                    .then(a.cmp(b))
+            });
+            for &s in current.iter() {
+                if assignments[v].len() >= target {
+                    break;
+                }
+                if used_slots[s.index()] < input.capacities[s.index()] {
+                    assignments[v].push(s);
+                    used_slots[s.index()] += 1;
+                    loads[s.index()] += input.weights[v];
+                }
+            }
+        }
+
+        // Phase 2 — add: place the remaining replicas smallest-load-first.
+        for &v in &order {
+            let vid = VideoId(v as u32);
+            let target = input.scheme.count(vid) as usize;
+            while assignments[v].len() < target {
+                let candidate = (0..n)
+                    .filter(|&j| {
+                        used_slots[j] < input.capacities[j]
+                            && !assignments[v].contains(&ServerId(j as u32))
+                    })
+                    .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
+                let j = match candidate {
+                    Some(j) => j,
+                    None => {
+                        // Dead-end: every free slot sits on a server that
+                        // already holds the video (an exact-fill artifact
+                        // the keep phase can produce). One-level swap
+                        // repair: move some other video's replica from a
+                        // full server `l` (not holding `v`) onto a
+                        // free-slot server `k` (which must not hold that
+                        // video), then place `v` on `l`.
+                        self.swap_repair(v, input, &mut assignments, &mut used_slots, &mut loads)?
+                    }
+                };
+                assignments[v].push(ServerId(j as u32));
+                used_slots[j] += 1;
+                loads[j] += input.weights[v];
+                let _ = vid;
+            }
+        }
+
+        Layout::new(n, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slf::SmallestLoadFirstPlacement;
+    use vod_model::{Popularity, ReplicationScheme};
+
+    fn fresh_layout(
+        scheme: &ReplicationScheme,
+        weights: &[f64],
+        n: usize,
+        caps: &[u64],
+    ) -> Layout {
+        SmallestLoadFirstPlacement
+            .place(&PlacementInput {
+                scheme,
+                weights,
+                n_servers: n,
+                capacities: caps,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn unchanged_scheme_means_zero_migration() {
+        let pop = Popularity::zipf(12, 1.0).unwrap();
+        let scheme = ReplicationScheme::new(vec![3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let weights = scheme.weights(&pop, 100.0).unwrap();
+        let caps = vec![4u64; 4];
+        let old = fresh_layout(&scheme, &weights, 4, &caps);
+        let new = IncrementalPlacement::from_previous(old.clone())
+            .place(&PlacementInput {
+                scheme: &scheme,
+                weights: &weights,
+                n_servers: 4,
+                capacities: &caps,
+            })
+            .unwrap();
+        assert_eq!(IncrementalPlacement::migration_cost(&old, &new), 0);
+        assert_eq!(new.scheme(), scheme);
+    }
+
+    #[test]
+    fn small_scheme_change_small_migration() {
+        let pop = Popularity::zipf(12, 1.0).unwrap();
+        let old_scheme =
+            ReplicationScheme::new(vec![3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let weights_old = old_scheme.weights(&pop, 100.0).unwrap();
+        let caps = vec![4u64; 4];
+        let old = fresh_layout(&old_scheme, &weights_old, 4, &caps);
+
+        // One replica moves from v0 to v3.
+        let new_scheme =
+            ReplicationScheme::new(vec![2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let weights_new = new_scheme.weights(&pop, 100.0).unwrap();
+        let incremental = IncrementalPlacement::from_previous(old.clone())
+            .place(&PlacementInput {
+                scheme: &new_scheme,
+                weights: &weights_new,
+                n_servers: 4,
+                capacities: &caps,
+            })
+            .unwrap();
+        // Exactly one new copy (v3's second replica); v0's drop is free.
+        assert_eq!(
+            IncrementalPlacement::migration_cost(&old, &incremental),
+            1
+        );
+        assert_eq!(incremental.scheme(), new_scheme);
+
+        // A from-scratch SLF run typically moves much more.
+        let fresh = fresh_layout(&new_scheme, &weights_new, 4, &caps);
+        assert!(
+            IncrementalPlacement::migration_cost(&old, &fresh)
+                >= IncrementalPlacement::migration_cost(&old, &incremental)
+        );
+    }
+
+    #[test]
+    fn constraints_hold_after_update() {
+        let pop = Popularity::zipf(20, 0.8).unwrap();
+        let old_scheme = ReplicationScheme::new(vec![1; 20]).unwrap();
+        let w_old = old_scheme.weights(&pop, 50.0).unwrap();
+        let caps = vec![6u64; 5];
+        let old = fresh_layout(&old_scheme, &w_old, 5, &caps);
+
+        let mut counts = vec![1u32; 20];
+        counts[0] = 5;
+        counts[1] = 3;
+        counts[2] = 2;
+        let new_scheme = ReplicationScheme::new(counts).unwrap();
+        let w_new = new_scheme.weights(&pop, 50.0).unwrap();
+        let layout = IncrementalPlacement::from_previous(old)
+            .place(&PlacementInput {
+                scheme: &new_scheme,
+                weights: &w_new,
+                n_servers: 5,
+                capacities: &caps,
+            })
+            .unwrap();
+        assert_eq!(layout.scheme(), new_scheme);
+        for (j, &c) in layout.replicas_per_server().iter().enumerate() {
+            assert!(c as u64 <= caps[j], "server {j} over capacity");
+        }
+    }
+
+    #[test]
+    fn shrinking_counts_drop_from_heaviest_servers() {
+        // v0 on s0 (heavy) and s1 (light); shrinking to 1 replica must
+        // keep the lightly-loaded s1 copy.
+        let scheme2 = ReplicationScheme::new(vec![2, 1]).unwrap();
+        let weights = [10.0, 5.0];
+        let old = Layout::new(2, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]])
+            .unwrap();
+        // old loads: s0 = 10 + 5 = 15, s1 = 10 -> wait: v0 weight 10 on both.
+        // s0 = 10 (v0) + 5 (v1) = 15; s1 = 10.
+        let new_scheme = ReplicationScheme::new(vec![1, 1]).unwrap();
+        let new_weights = new_scheme.weights(
+            &Popularity::from_weights(&[10.0, 5.0]).unwrap(),
+            15.0,
+        )
+        .unwrap();
+        let caps = vec![2u64; 2];
+        let layout = IncrementalPlacement::from_previous(old)
+            .place(&PlacementInput {
+                scheme: &new_scheme,
+                weights: &new_weights,
+                n_servers: 2,
+                capacities: &caps,
+            })
+            .unwrap();
+        assert_eq!(layout.replicas_of(VideoId(0)), &[ServerId(1)]);
+        let _ = (scheme2, weights);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let old = Layout::new(2, vec![vec![ServerId(0)]]).unwrap();
+        let scheme = ReplicationScheme::new(vec![1, 1]).unwrap();
+        let caps = vec![2u64; 2];
+        let err = IncrementalPlacement::from_previous(old)
+            .place(&PlacementInput {
+                scheme: &scheme,
+                weights: &[1.0, 1.0],
+                n_servers: 2,
+                capacities: &caps,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn name() {
+        let old = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+        assert_eq!(IncrementalPlacement::from_previous(old).name(), "incremental");
+    }
+}

@@ -1,0 +1,162 @@
+//! Round-robin placement.
+//!
+//! "It supposes that the replicas are arranged in groups in an arbitrary
+//! order such as v_1^1 … v_1^{r_1}, v_2^1 … v_2^{r_2}, …, v_m^1 … v_m^{r_m}"
+//! (paper, Sec. 4.2) and deals them onto servers cyclically. When every
+//! replica has the same communication weight this is optimal; under skewed
+//! popularity it ignores weights entirely — the contrast the evaluation
+//! draws against smallest-load-first.
+//!
+//! Because a video's replicas occupy consecutive positions in the deal and
+//! `r_i ≤ N`, cyclic assignment alone already satisfies constraint (6);
+//! the implementation additionally skips storage-full servers (needed for
+//! heterogeneous capacities), preserving distinctness by scanning.
+
+use crate::traits::{PlacementInput, PlacementPolicy};
+use vod_model::{Layout, ModelError, ServerId};
+
+/// The weight-blind cyclic placement policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinPlacement;
+
+impl PlacementPolicy for RoundRobinPlacement {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn place(&self, input: &PlacementInput<'_>) -> Result<Layout, ModelError> {
+        input.validate()?;
+        let n = input.n_servers;
+        let mut remaining: Vec<u64> = input.capacities.to_vec();
+        let mut assignments: Vec<Vec<ServerId>> = Vec::with_capacity(input.scheme.len());
+        let mut cursor = 0usize;
+
+        for (v, &r) in input.scheme.replicas().iter().enumerate() {
+            let mut servers = Vec::with_capacity(r as usize);
+            for _ in 0..r {
+                // Scan from the cursor for the next server with storage
+                // that doesn't already hold this video.
+                let mut placed = false;
+                for probe in 0..n {
+                    let j = (cursor + probe) % n;
+                    let sid = ServerId(j as u32);
+                    if remaining[j] > 0 && !servers.contains(&sid) {
+                        servers.push(sid);
+                        remaining[j] -= 1;
+                        cursor = (j + 1) % n;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    // Total capacity was validated, so the only way to get
+                    // here is a distinctness dead-end (every server with
+                    // space already holds this video).
+                    return Err(ModelError::InsufficientStorage {
+                        required: input.scheme.total(),
+                        capacity: input.capacities.iter().sum::<u64>(),
+                    });
+                }
+            }
+            let _ = v;
+            assignments.push(servers);
+        }
+        Layout::new(n, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_model::ReplicationScheme;
+
+    fn place(
+        replicas: Vec<u32>,
+        weights: Vec<f64>,
+        n: usize,
+        cap: u64,
+    ) -> Result<Layout, ModelError> {
+        let scheme = ReplicationScheme::new(replicas).unwrap();
+        let caps = vec![cap; n];
+        RoundRobinPlacement.place(&PlacementInput {
+            scheme: &scheme,
+            weights: &weights,
+            n_servers: n,
+            capacities: &caps,
+        })
+    }
+
+    #[test]
+    fn deals_cyclically() {
+        let layout = place(vec![2, 1, 1], vec![1.0, 1.0, 1.0], 4, 1).unwrap();
+        assert_eq!(layout.replicas_of(vod_model::VideoId(0)), &[ServerId(0), ServerId(1)]);
+        assert_eq!(layout.replicas_of(vod_model::VideoId(1)), &[ServerId(2)]);
+        assert_eq!(layout.replicas_of(vod_model::VideoId(2)), &[ServerId(3)]);
+    }
+
+    #[test]
+    fn distinct_servers_per_video() {
+        let layout = place(vec![4, 4], vec![1.0, 1.0], 4, 2).unwrap();
+        for v in 0..2 {
+            let servers = layout.replicas_of(vod_model::VideoId(v));
+            let mut sorted: Vec<_> = servers.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+        }
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let layout = place(vec![2, 2, 2], vec![1.0, 1.0, 1.0], 3, 2).unwrap();
+        assert!(layout.replicas_per_server().iter().all(|&c| c <= 2));
+        assert_eq!(layout.replicas_per_server().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn balanced_for_uniform_weights() {
+        // 8 equal-weight singleton videos on 4 servers of capacity 2:
+        // perfectly balanced.
+        let layout = place(vec![1; 8], vec![1.0; 8], 4, 2).unwrap();
+        let loads = layout.loads(&[1.0; 8]).unwrap();
+        assert!(loads.iter().all(|&l| (l - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skips_full_servers() {
+        // Heterogeneous capacities: server 0 holds one replica only.
+        let scheme = ReplicationScheme::new(vec![1, 1, 1]).unwrap();
+        let caps = vec![1u64, 2];
+        let layout = RoundRobinPlacement
+            .place(&PlacementInput {
+                scheme: &scheme,
+                weights: &[1.0, 1.0, 1.0],
+                n_servers: 2,
+                capacities: &caps,
+            })
+            .unwrap();
+        assert_eq!(layout.replicas_per_server(), vec![1, 2]);
+    }
+
+    #[test]
+    fn detects_distinctness_deadend() {
+        // Two videos with 2 replicas each; capacities [3, 1]: after v0
+        // takes (s0, s1), v1 finds only s0 with space for both replicas.
+        let scheme = ReplicationScheme::new(vec![2, 2]).unwrap();
+        let caps = vec![3u64, 1];
+        let err = RoundRobinPlacement
+            .place(&PlacementInput {
+                scheme: &scheme,
+                weights: &[1.0, 1.0],
+                n_servers: 2,
+                capacities: &caps,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InsufficientStorage { .. }));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(RoundRobinPlacement.name(), "rr");
+    }
+}

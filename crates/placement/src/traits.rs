@@ -1,0 +1,131 @@
+//! The common interface of placement policies.
+
+use vod_model::{Layout, ModelError, ReplicationScheme};
+
+/// Inputs shared by every placement policy.
+#[derive(Debug, Clone)]
+pub struct PlacementInput<'a> {
+    /// How many replicas each video has.
+    pub scheme: &'a ReplicationScheme,
+    /// Per-replica communication weight of each video (`w_i = p_i λT/r_i`;
+    /// any common positive scaling works — placement only compares them).
+    pub weights: &'a [f64],
+    /// Number of servers `N`.
+    pub n_servers: usize,
+    /// Storage capacity of each server in replica slots (`C_j`); length
+    /// `N`. Homogeneous clusters pass `vec![C; N]`.
+    pub capacities: &'a [u64],
+}
+
+impl PlacementInput<'_> {
+    /// Validates structural consistency: matching lengths, constraint (7),
+    /// and total capacity sufficient for the scheme.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.n_servers == 0 || self.scheme.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        if self.weights.len() != self.scheme.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: self.scheme.len(),
+                actual: self.weights.len(),
+            });
+        }
+        if self.capacities.len() != self.n_servers {
+            return Err(ModelError::LengthMismatch {
+                expected: self.n_servers,
+                actual: self.capacities.len(),
+            });
+        }
+        self.scheme.validate(self.n_servers)?;
+        let total_capacity: u64 = self.capacities.iter().sum();
+        if self.scheme.total() > total_capacity {
+            return Err(ModelError::InsufficientStorage {
+                required: self.scheme.total(),
+                capacity: total_capacity,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A placement policy: maps replicas to servers.
+pub trait PlacementPolicy {
+    /// Short identifier used in experiment reports (e.g. `"slf"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a layout. Returned layouts always satisfy constraints (6)
+    /// and (7) ([`Layout::new`] enforces them) and the replica-slot storage
+    /// capacities in `input`.
+    fn place(&self, input: &PlacementInput<'_>) -> Result<Layout, ModelError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_mismatches() {
+        let scheme = ReplicationScheme::new(vec![2, 1]).unwrap();
+        let caps = vec![2u64, 2];
+        let ok = PlacementInput {
+            scheme: &scheme,
+            weights: &[0.5, 0.5],
+            n_servers: 2,
+            capacities: &caps,
+        };
+        assert!(ok.validate().is_ok());
+
+        let bad_weights = PlacementInput {
+            weights: &[0.5],
+            ..ok.clone()
+        };
+        assert!(matches!(
+            bad_weights.validate(),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+
+        let bad_caps = PlacementInput {
+            capacities: &caps[..1],
+            ..ok.clone()
+        };
+        assert!(matches!(
+            bad_caps.validate(),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_capacity_shortfall() {
+        let scheme = ReplicationScheme::new(vec![2, 2]).unwrap();
+        let caps = vec![1u64, 1];
+        let input = PlacementInput {
+            scheme: &scheme,
+            weights: &[0.5, 0.5],
+            n_servers: 2,
+            capacities: &caps,
+        };
+        assert!(matches!(
+            input.validate(),
+            Err(ModelError::InsufficientStorage {
+                required: 4,
+                capacity: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_constraint_7() {
+        let scheme = ReplicationScheme::new(vec![3]).unwrap();
+        let caps = vec![5u64, 5];
+        let input = PlacementInput {
+            scheme: &scheme,
+            weights: &[1.0],
+            n_servers: 2,
+            capacities: &caps,
+        };
+        assert!(matches!(
+            input.validate(),
+            Err(ModelError::ReplicaCountOutOfRange { .. })
+        ));
+    }
+}

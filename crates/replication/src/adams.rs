@@ -1,0 +1,310 @@
+//! The bounded Adams monotone divisor replication algorithm (paper,
+//! Sec. 4.1.1, Theorem 4.1).
+//!
+//! "It firstly assigns one replica to each video. For the rest replication
+//! capacity of the cluster, i.e. N·C − M replicas, at each iteration it
+//! gives one more replica to the video whose number of replicas is less
+//! than the number of servers and whose replica(s) has the currently
+//! greatest communication weight."
+//!
+//! This is Adams' divisor method from apportionment theory (divisor
+//! sequence `d(r) = r`), bounded by constraint (7): `r_i ≤ N`. It is
+//! optimal for Eq. (8) — it minimizes `max_i p_i / r_i` over all schemes
+//! with the same total — because each greedy step lowers the unique current
+//! maximum as much as any single slot can (an exchange argument; verified
+//! against brute force in this crate's tests and property suites).
+//!
+//! Complexity: `O(M + (N·C − M) log M)` with a binary heap — the paper's
+//! `O(M·N log M)` worst case when the budget saturates at `N·M`.
+
+use crate::traits::{check_inputs, ReplicationPolicy};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vod_model::{ModelError, Popularity, ReplicationScheme, VideoId};
+
+/// One duplication step of the Adams iteration, for Figure-1-style traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamsStep {
+    /// Iteration number, starting at 1 (iteration 0 is the initial
+    /// one-replica-each assignment).
+    pub iteration: u32,
+    /// The video that received a new replica.
+    pub video: VideoId,
+    /// Its per-replica weight *before* duplication (`p_i / r_i`) — the
+    /// current maximum over all still-duplicable videos.
+    pub weight_before: f64,
+    /// Its replica count after duplication.
+    pub replicas_after: u32,
+}
+
+/// Max-heap entry: weight-ordered, id-tiebroken for determinism.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    weight: f64,
+    video: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Greater weight first; lower video id wins ties (the paper's
+        // example duplicates v1 before v2 when p1 = p2).
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| other.video.cmp(&self.video))
+    }
+}
+
+/// The optimal bounded replication policy (Theorem 4.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundedAdamsReplication;
+
+impl BoundedAdamsReplication {
+    /// Runs the algorithm and records every duplication step — the data
+    /// behind the paper's Figure 1 illustration.
+    pub fn replicate_traced(
+        &self,
+        pop: &Popularity,
+        n_servers: usize,
+        total_slots: u64,
+    ) -> Result<(ReplicationScheme, Vec<AdamsStep>), ModelError> {
+        let budget = check_inputs(pop, n_servers, total_slots)?;
+        let m = pop.len();
+        let n = n_servers as u32;
+
+        let mut replicas = vec![1u32; m];
+        let mut heap: BinaryHeap<Entry> = pop
+            .p()
+            .iter()
+            .enumerate()
+            .filter(|_| n > 1)
+            .map(|(i, &p)| Entry {
+                weight: p,
+                video: i as u32,
+            })
+            .collect();
+
+        let spare = budget - m as u64;
+        let mut steps = Vec::with_capacity(spare as usize);
+        for k in 0..spare {
+            let Some(top) = heap.pop() else {
+                break; // every video saturated at N replicas
+            };
+            let i = top.video as usize;
+            replicas[i] += 1;
+            steps.push(AdamsStep {
+                iteration: k as u32 + 1,
+                video: VideoId(top.video),
+                weight_before: top.weight,
+                replicas_after: replicas[i],
+            });
+            if replicas[i] < n {
+                heap.push(Entry {
+                    weight: pop.get(i) / replicas[i] as f64,
+                    video: top.video,
+                });
+            }
+        }
+
+        Ok((ReplicationScheme::new(replicas)?, steps))
+    }
+}
+
+impl ReplicationPolicy for BoundedAdamsReplication {
+    fn name(&self) -> &'static str {
+        "adams"
+    }
+
+    fn replicate(
+        &self,
+        pop: &Popularity,
+        n_servers: usize,
+        total_slots: u64,
+    ) -> Result<ReplicationScheme, ModelError> {
+        self.replicate_traced(pop, n_servers, total_slots)
+            .map(|(scheme, _)| scheme)
+    }
+}
+
+/// Exhaustively finds the minimum achievable `max_i p_i / r_i` over all
+/// schemes with `Σ r_i = total_slots` and `1 ≤ r_i ≤ n`. Exponential —
+/// test-support only, exposed for the cross-crate property suites.
+pub fn brute_force_optimum(pop: &Popularity, n_servers: usize, total_slots: u64) -> Option<f64> {
+    let m = pop.len();
+    let n = n_servers as u32;
+    let mut best: Option<f64> = None;
+    let mut counts = vec![1u32; m];
+
+    fn recurse(
+        pop: &Popularity,
+        counts: &mut Vec<u32>,
+        idx: usize,
+        remaining: u64,
+        n: u32,
+        best: &mut Option<f64>,
+    ) {
+        if idx == counts.len() {
+            if remaining == 0 {
+                let worst = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| pop.get(i) / r as f64)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if best.is_none_or(|b| worst < b) {
+                    *best = Some(worst);
+                }
+            }
+            return;
+        }
+        let max_extra = (n - 1) as u64;
+        for extra in 0..=remaining.min(max_extra) {
+            counts[idx] = 1 + extra as u32;
+            recurse(pop, counts, idx + 1, remaining - extra, n, best);
+        }
+        counts[idx] = 1;
+    }
+
+    if total_slots < m as u64 || total_slots > m as u64 * n as u64 {
+        return None;
+    }
+    recurse(
+        pop,
+        &mut counts,
+        0,
+        total_slots - m as u64,
+        n,
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ReplicationPolicy;
+
+    #[test]
+    fn paper_figure_1_trace() {
+        // Five videos, three servers, storage capacity 3 replicas/server
+        // => budget 9. With p1 ≥ p2 ≥ … ≥ p5 the first duplication goes to
+        // v1 (greatest weight).
+        let pop = Popularity::from_weights(&[5.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        let (scheme, steps) = BoundedAdamsReplication
+            .replicate_traced(&pop, 3, 9)
+            .unwrap();
+        assert_eq!(scheme.total(), 9);
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].video, VideoId(0));
+        assert_eq!(steps[0].replicas_after, 2);
+        // Weight sequence handed to duplication never increases.
+        assert!(steps
+            .windows(2)
+            .all(|w| w[0].weight_before >= w[1].weight_before));
+        // No video exceeds N = 3.
+        assert!(scheme.replicas().iter().all(|&r| r <= 3));
+    }
+
+    #[test]
+    fn second_iteration_follows_paper_rule() {
+        // p1/2 still the max => v1 duplicated again (paper's illustrated
+        // branch).
+        let pop = Popularity::from_weights(&[10.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        let (_, steps) = BoundedAdamsReplication
+            .replicate_traced(&pop, 3, 7)
+            .unwrap();
+        assert_eq!(steps[0].video, VideoId(0));
+        assert_eq!(steps[1].video, VideoId(0));
+        assert_eq!(steps[1].replicas_after, 3);
+    }
+
+    #[test]
+    fn bounded_by_server_count() {
+        // Extreme skew: without the bound v0 would absorb everything.
+        let pop = Popularity::from_weights(&[1000.0, 1.0, 1.0]).unwrap();
+        let scheme = BoundedAdamsReplication.replicate(&pop, 2, 6).unwrap();
+        assert!(scheme.replicas().iter().all(|&r| r <= 2));
+        assert_eq!(scheme.replicas(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn uses_exact_budget_when_unbounded() {
+        let pop = Popularity::zipf(10, 1.0).unwrap();
+        let scheme = BoundedAdamsReplication.replicate(&pop, 8, 25).unwrap();
+        assert_eq!(scheme.total(), 25);
+        assert!(scheme.validate(8).is_ok());
+    }
+
+    #[test]
+    fn budget_beyond_nm_saturates() {
+        let pop = Popularity::zipf(3, 1.0).unwrap();
+        let scheme = BoundedAdamsReplication.replicate(&pop, 2, 100).unwrap();
+        assert_eq!(scheme.replicas(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for theta in [0.271, 0.5, 1.0] {
+            let pop = Popularity::zipf(5, theta).unwrap();
+            for budget in 5..=12u64 {
+                let scheme = BoundedAdamsReplication.replicate(&pop, 3, budget).unwrap();
+                let got = scheme.max_weight(&pop, 1.0).unwrap();
+                let best = brute_force_optimum(&pop, 3, budget.min(15)).unwrap();
+                assert!(
+                    (got - best).abs() < 1e-12,
+                    "theta {theta} budget {budget}: adams {got} vs optimum {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_popularity_gives_even_counts() {
+        let pop = Popularity::uniform(4).unwrap();
+        let scheme = BoundedAdamsReplication.replicate(&pop, 4, 8).unwrap();
+        assert_eq!(scheme.replicas(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn insufficient_budget_rejected() {
+        let pop = Popularity::zipf(5, 1.0).unwrap();
+        assert!(matches!(
+            BoundedAdamsReplication.replicate(&pop, 3, 4),
+            Err(ModelError::InsufficientStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn single_server_all_singletons() {
+        let pop = Popularity::zipf(5, 1.0).unwrap();
+        let scheme = BoundedAdamsReplication.replicate(&pop, 1, 10).unwrap();
+        assert_eq!(scheme.replicas(), &[1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn max_weight_non_increasing_in_budget() {
+        let pop = Popularity::zipf(20, 1.0).unwrap();
+        let mut prev = f64::INFINITY;
+        for budget in (20..=100).step_by(5) {
+            let s = BoundedAdamsReplication.replicate(&pop, 8, budget).unwrap();
+            let w = s.max_weight(&pop, 1.0).unwrap();
+            assert!(w <= prev + 1e-15, "budget {budget}: {w} > {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(BoundedAdamsReplication.name(), "adams");
+    }
+}

@@ -1,0 +1,164 @@
+//! Classification-based replication — the baseline of the paper's
+//! evaluation.
+//!
+//! "To better understand the impact of different replication algorithms on
+//! performance, we simulated a feasible and straightforward algorithm
+//! called classification based replication \[19\]" (paper, Sec. 5). The
+//! citation is the authors' own workshop paper; the scheme reconstructed
+//! here (documented in DESIGN.md) is the straightforward popularity-class
+//! approach that reference describes: rank videos, cut the ranking into `N`
+//! equal-count classes, and give every video in a class the same replica
+//! count, with class quotas proportional to the class rank (most popular
+//! class gets the most replicas), scaled to the storage budget.
+//!
+//! The defining contrast with the Adams/Zipf schemes is that quotas are
+//! *rank-proportional, not weight-proportional*: the class structure
+//! ignores how much more popular class 1 is than class 2, so the resulting
+//! replica weights are coarse — exactly the deficiency the paper's
+//! comparison exercises.
+
+use crate::traits::{check_inputs, ReplicationPolicy};
+use vod_model::{ModelError, Popularity, ReplicationScheme};
+
+/// The rank-class baseline replication policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassificationReplication;
+
+impl ReplicationPolicy for ClassificationReplication {
+    fn name(&self) -> &'static str {
+        "class"
+    }
+
+    fn replicate(
+        &self,
+        pop: &Popularity,
+        n_servers: usize,
+        total_slots: u64,
+    ) -> Result<ReplicationScheme, ModelError> {
+        let budget = check_inputs(pop, n_servers, total_slots)?;
+        let m = pop.len();
+        let n = n_servers;
+
+        // Class of each video: n classes of (near-)equal size, class 0 the
+        // most popular.
+        let class_of = |i: usize| -> usize { i * n / m };
+
+        // Raw quota per video: proportional to (n - class), i.e. class 0
+        // wants n-times the replicas of class n-1, before clamping.
+        let raw: Vec<f64> = (0..m).map(|i| (n - class_of(i)) as f64).collect();
+        let raw_total: f64 = raw.iter().sum();
+        let spare = (budget - m as u64) as f64;
+
+        // Largest-remainder apportionment of the spare slots over the raw
+        // quotas, on top of the mandatory one replica each.
+        let mut replicas = vec![1u32; m];
+        let mut fractional: Vec<(f64, usize)> = Vec::with_capacity(m);
+        let mut assigned = 0u64;
+        for i in 0..m {
+            let share = spare * raw[i] / raw_total;
+            let whole = share.floor();
+            let cap = (n as u32 - 1) as f64;
+            let take = whole.min(cap);
+            replicas[i] += take as u32;
+            assigned += take as u64;
+            fractional.push((share - take, i));
+        }
+        // Hand out the remainder by largest fractional part, respecting the
+        // per-video cap N; ties broken by rank (more popular first).
+        fractional.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut leftover = (budget - m as u64).saturating_sub(assigned);
+        // Cycle until the leftover is gone or everything is saturated.
+        while leftover > 0 {
+            let mut progressed = false;
+            for &(_, i) in &fractional {
+                if leftover == 0 {
+                    break;
+                }
+                if (replicas[i] as usize) < n {
+                    replicas[i] += 1;
+                    leftover -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let scheme = ReplicationScheme::new(replicas)?;
+        scheme.validate(n_servers)?;
+        Ok(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumes_budget_exactly_when_feasible() {
+        let pop = Popularity::zipf(40, 1.0).unwrap();
+        let s = ClassificationReplication.replicate(&pop, 8, 60).unwrap();
+        assert_eq!(s.total(), 60);
+        assert!(s.validate(8).is_ok());
+    }
+
+    #[test]
+    fn class_structure_is_monotone() {
+        let pop = Popularity::zipf(40, 1.0).unwrap();
+        let s = ClassificationReplication.replicate(&pop, 8, 80).unwrap();
+        // More popular videos never get fewer replicas.
+        assert!(s.replicas().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn videos_in_same_class_get_equal_counts_before_remainder() {
+        // 8 videos, 4 servers -> classes of 2. With a budget that divides
+        // evenly, classmates tie.
+        let pop = Popularity::zipf(8, 1.0).unwrap();
+        let s = ClassificationReplication.replicate(&pop, 4, 18).unwrap();
+        assert_eq!(s.total(), 18);
+        let r = s.replicas();
+        // Class 0 >= class 1 >= class 2 >= class 3, each of size 2.
+        assert!(r[0] >= r[2] && r[2] >= r[4] && r[4] >= r[6]);
+    }
+
+    #[test]
+    fn coarser_granularity_than_adams() {
+        // The point of the baseline: its max replica weight is no better
+        // (typically worse) than the optimal scheme's.
+        use crate::adams::BoundedAdamsReplication;
+        let pop = Popularity::zipf(200, 1.0).unwrap();
+        let budget = 280;
+        let adams = BoundedAdamsReplication.replicate(&pop, 8, budget).unwrap();
+        let class = ClassificationReplication.replicate(&pop, 8, budget).unwrap();
+        let wa = adams.max_weight(&pop, 1.0).unwrap();
+        let wc = class.max_weight(&pop, 1.0).unwrap();
+        assert!(wc >= wa - 1e-15, "baseline beats the proven optimum");
+    }
+
+    #[test]
+    fn budget_equal_m_gives_singletons() {
+        let pop = Popularity::zipf(10, 0.5).unwrap();
+        let s = ClassificationReplication.replicate(&pop, 4, 10).unwrap();
+        assert_eq!(s.replicas(), vec![1u32; 10].as_slice());
+    }
+
+    #[test]
+    fn saturated_budget_capped_at_n() {
+        let pop = Popularity::zipf(6, 1.0).unwrap();
+        let s = ClassificationReplication.replicate(&pop, 3, 1_000).unwrap();
+        assert_eq!(s.replicas(), vec![3u32; 6].as_slice());
+    }
+
+    #[test]
+    fn insufficient_budget_rejected() {
+        let pop = Popularity::zipf(10, 0.5).unwrap();
+        assert!(ClassificationReplication.replicate(&pop, 4, 9).is_err());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(ClassificationReplication.name(), "class");
+    }
+}

@@ -1,0 +1,91 @@
+//! Granularity reporting: how fine are a scheme's replica weights?
+//!
+//! The replication step's whole purpose is "to get fine granularity of
+//! replicas in terms of communication weight for later placement" (paper,
+//! Sec. 4.1). These helpers quantify that for experiment reports and for
+//! the Adams-vs-Zipf quality comparison of Section 5.
+
+use serde::{Deserialize, Serialize};
+use vod_model::{ModelError, Popularity, ReplicationScheme};
+
+/// Summary of a scheme's replica-weight granularity (weights computed with
+/// demand = 1, i.e. pure `p_i / r_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularityReport {
+    /// Total replicas `Σ r_i`.
+    pub total_replicas: u64,
+    /// Replication degree `Σ r_i / M`.
+    pub degree: f64,
+    /// `max_i p_i / r_i` — the Eq. (8) objective.
+    pub max_weight: f64,
+    /// `min_i p_i / r_i`.
+    pub min_weight: f64,
+    /// `max − min` — the Theorem 4.2 placement-imbalance bound.
+    pub spread: f64,
+}
+
+/// Computes the granularity summary of a scheme under a popularity vector.
+pub fn report(pop: &Popularity, scheme: &ReplicationScheme) -> Result<GranularityReport, ModelError> {
+    let weights = scheme.weights(pop, 1.0)?;
+    let max_weight = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_weight = weights.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(GranularityReport {
+        total_replicas: scheme.total(),
+        degree: scheme.degree(),
+        max_weight,
+        min_weight,
+        spread: max_weight - min_weight,
+    })
+}
+
+/// Relative optimality gap of `candidate` versus `optimal` on the Eq. (8)
+/// objective: `(w_cand − w_opt) / w_opt`. Zero means the candidate matched
+/// the optimum.
+pub fn optimality_gap(
+    pop: &Popularity,
+    candidate: &ReplicationScheme,
+    optimal: &ReplicationScheme,
+) -> Result<f64, ModelError> {
+    let wc = candidate.max_weight(pop, 1.0)?;
+    let wo = optimal.max_weight(pop, 1.0)?;
+    Ok((wc - wo) / wo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adams::BoundedAdamsReplication;
+    use crate::traits::ReplicationPolicy;
+    use crate::zipf_interval::ZipfIntervalReplication;
+
+    #[test]
+    fn report_fields_consistent() {
+        let pop = Popularity::from_weights(&[4.0, 2.0, 1.0, 1.0]).unwrap();
+        let scheme = ReplicationScheme::new(vec![2, 1, 1, 1]).unwrap();
+        let r = report(&pop, &scheme).unwrap();
+        assert_eq!(r.total_replicas, 5);
+        assert!((r.degree - 1.25).abs() < 1e-12);
+        assert!((r.max_weight - 0.25).abs() < 1e-12); // p0/2 = p1 = 0.25
+        assert!((r.min_weight - 0.125).abs() < 1e-12);
+        assert!((r.spread - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_zero_against_self() {
+        let pop = Popularity::zipf(20, 1.0).unwrap();
+        let s = BoundedAdamsReplication.replicate(&pop, 4, 30).unwrap();
+        assert_eq!(optimality_gap(&pop, &s, &s).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zipf_gap_is_small_and_nonnegative() {
+        let pop = Popularity::zipf(100, 0.75).unwrap();
+        let adams = BoundedAdamsReplication.replicate(&pop, 8, 140).unwrap();
+        let zipf = ZipfIntervalReplication::default()
+            .replicate(&pop, 8, 140)
+            .unwrap();
+        let gap = optimality_gap(&pop, &zipf, &adams).unwrap();
+        assert!(gap >= -1e-12, "approximation cannot beat the optimum");
+        assert!(gap < 1.0, "gap {gap} unexpectedly large");
+    }
+}

@@ -1,0 +1,58 @@
+//! Replication algorithms for the fixed-bit-rate setting (paper, Sec. 4.1).
+//!
+//! Given popularities `p_1 ≥ … ≥ p_M`, a cluster of `N` servers and a total
+//! storage budget of `K = N·C` replica slots, a replication algorithm picks
+//! per-video replica counts `r_i` with `1 ≤ r_i ≤ N` (constraint 7) and
+//! `Σ r_i ≤ K`, aiming at Eq. (8): minimize the largest per-replica
+//! communication weight `max_i p_i / r_i` — the finer the granularity of
+//! replica weights, the more freedom the placement step has to balance
+//! load.
+//!
+//! Implemented policies:
+//!
+//! * [`adams::BoundedAdamsReplication`] — the paper's optimal scheme
+//!   (Theorem 4.1), a bounded variant of Adams' monotone divisor method
+//!   from apportionment theory;
+//! * [`zipf_interval::ZipfIntervalReplication`] — the O(M log M)
+//!   approximation that classifies popularities into `N` Zipf-spaced
+//!   intervals and binary-searches the interval skew `u` (Lemma 4.1);
+//! * [`classification::ClassificationReplication`] — the granularity-blind
+//!   popularity-class baseline the evaluation compares against;
+//! * [`uniform::UniformReplication`] — round-robin slot spreading, optimal
+//!   only under uniform popularity.
+//!
+//! ```
+//! use vod_model::Popularity;
+//! use vod_replication::{BoundedAdamsReplication, ReplicationPolicy,
+//!                       ZipfIntervalReplication};
+//!
+//! // 50 videos, Zipf(0.75) popularity, 8 servers, storage for 70 replicas.
+//! let pop = Popularity::zipf(50, 0.75).unwrap();
+//! let optimal = BoundedAdamsReplication.replicate(&pop, 8, 70).unwrap();
+//! let approx = ZipfIntervalReplication::default().replicate(&pop, 8, 70).unwrap();
+//!
+//! assert_eq!(optimal.total(), 70);
+//! assert_eq!(approx.total(), 70);
+//! // The approximation can never beat the proven optimum on Eq. (8)…
+//! let w_opt = optimal.max_weight(&pop, 1.0).unwrap();
+//! let w_apx = approx.max_weight(&pop, 1.0).unwrap();
+//! assert!(w_apx >= w_opt - 1e-12);
+//! // …and in practice lands on (or next to) it.
+//! assert!(w_apx <= w_opt * 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adams;
+pub mod classification;
+pub mod granularity;
+pub mod traits;
+pub mod uniform;
+pub mod zipf_interval;
+
+pub use adams::BoundedAdamsReplication;
+pub use classification::ClassificationReplication;
+pub use traits::ReplicationPolicy;
+pub use uniform::UniformReplication;
+pub use zipf_interval::ZipfIntervalReplication;

@@ -1,0 +1,76 @@
+//! The common interface of replication policies.
+
+use vod_model::{ModelError, Popularity, ReplicationScheme};
+
+/// A fixed-bit-rate replication policy: maps a popularity distribution and
+/// a storage budget to per-video replica counts.
+pub trait ReplicationPolicy {
+    /// Short identifier used in experiment reports (e.g. `"adams"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a replication scheme for `pop.len()` videos over
+    /// `n_servers` servers with a cluster-wide budget of `total_slots`
+    /// replica slots (`N·C` in the paper's notation).
+    ///
+    /// Implementations must return schemes satisfying constraint (7)
+    /// (`1 ≤ r_i ≤ N`) with `Σ r_i ≤ total_slots`, and must fail with
+    /// [`ModelError::InsufficientStorage`] when `total_slots < M` (every
+    /// video needs at least one replica).
+    fn replicate(
+        &self,
+        pop: &Popularity,
+        n_servers: usize,
+        total_slots: u64,
+    ) -> Result<ReplicationScheme, ModelError>;
+}
+
+/// Checks the preconditions shared by every policy; returns the usable
+/// budget, clamped to the absolute maximum `N·M` (constraint 7 caps each
+/// video at `N` replicas, so extra slots beyond that are dead storage).
+pub(crate) fn check_inputs(
+    pop: &Popularity,
+    n_servers: usize,
+    total_slots: u64,
+) -> Result<u64, ModelError> {
+    if n_servers == 0 {
+        return Err(ModelError::Empty);
+    }
+    let m = pop.len() as u64;
+    if total_slots < m {
+        return Err(ModelError::InsufficientStorage {
+            required: m,
+            capacity: total_slots,
+        });
+    }
+    Ok(total_slots.min(m * n_servers as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_clamped_to_nm() {
+        let pop = Popularity::zipf(4, 1.0).unwrap();
+        assert_eq!(check_inputs(&pop, 3, 100).unwrap(), 12);
+        assert_eq!(check_inputs(&pop, 3, 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn insufficient_storage_detected() {
+        let pop = Popularity::zipf(4, 1.0).unwrap();
+        assert!(matches!(
+            check_inputs(&pop, 3, 3),
+            Err(ModelError::InsufficientStorage {
+                required: 4,
+                capacity: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let pop = Popularity::zipf(4, 1.0).unwrap();
+        assert!(matches!(check_inputs(&pop, 0, 10), Err(ModelError::Empty)));
+    }
+}

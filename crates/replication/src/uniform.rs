@@ -1,0 +1,96 @@
+//! Uniform (round-robin) replication.
+//!
+//! "If the video popularity distribution is uniform, a simple round-robin
+//! replication achieves an optimal replication scheme with respect to
+//! Eq. (8)" (paper, Sec. 4.1). This policy spreads the slot budget as
+//! evenly as the cap `r_i ≤ N` allows, ignoring popularity entirely — the
+//! optimal choice for θ = 0 and a useful control in ablations.
+
+use crate::traits::{check_inputs, ReplicationPolicy};
+use vod_model::{ModelError, Popularity, ReplicationScheme};
+
+/// Popularity-blind even replication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformReplication;
+
+impl ReplicationPolicy for UniformReplication {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn replicate(
+        &self,
+        pop: &Popularity,
+        n_servers: usize,
+        total_slots: u64,
+    ) -> Result<ReplicationScheme, ModelError> {
+        let budget = check_inputs(pop, n_servers, total_slots)?;
+        let m = pop.len() as u64;
+        let base = (budget / m).min(n_servers as u64) as u32;
+        let mut replicas = vec![base; pop.len()];
+        let mut leftover = budget - base as u64 * m;
+        // Round-robin the remainder, most popular first (harmless for
+        // uniform popularity, sensible otherwise), respecting the cap.
+        if base < n_servers as u32 {
+            for r in replicas.iter_mut() {
+                if leftover == 0 {
+                    break;
+                }
+                *r += 1;
+                leftover -= 1;
+            }
+        }
+        let scheme = ReplicationScheme::new(replicas)?;
+        scheme.validate(n_servers)?;
+        Ok(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let pop = Popularity::uniform(5).unwrap();
+        let s = UniformReplication.replicate(&pop, 4, 12).unwrap();
+        assert_eq!(s.replicas(), &[3, 3, 2, 2, 2]);
+        assert_eq!(s.total(), 12);
+    }
+
+    #[test]
+    fn exact_division() {
+        let pop = Popularity::uniform(4).unwrap();
+        let s = UniformReplication.replicate(&pop, 4, 8).unwrap();
+        assert_eq!(s.replicas(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn capped_at_n() {
+        let pop = Popularity::uniform(3).unwrap();
+        let s = UniformReplication.replicate(&pop, 2, 100).unwrap();
+        assert_eq!(s.replicas(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn optimal_for_uniform_popularity() {
+        use crate::adams::BoundedAdamsReplication;
+        let pop = Popularity::uniform(6).unwrap();
+        let u = UniformReplication.replicate(&pop, 4, 15).unwrap();
+        let a = BoundedAdamsReplication.replicate(&pop, 4, 15).unwrap();
+        assert!(
+            (u.max_weight(&pop, 1.0).unwrap() - a.max_weight(&pop, 1.0).unwrap()).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn insufficient_budget_rejected() {
+        let pop = Popularity::uniform(5).unwrap();
+        assert!(UniformReplication.replicate(&pop, 4, 4).is_err());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(UniformReplication.name(), "uniform");
+    }
+}

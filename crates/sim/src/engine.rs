@@ -1,0 +1,584 @@
+//! The simulation run loop.
+//!
+//! A [`Simulation`] binds a catalog, a cluster and a layout; [`Simulation::run`]
+//! replays a request trace through the admission policy and produces a
+//! [`SimReport`]. The loop is event-ordered: before each arrival, every
+//! background event due at an earlier (or equal) instant is processed —
+//! stream departures first (bandwidth frees up), then failure/recovery
+//! transitions (killed streams are counted as disrupted), then load
+//! samples (they observe the settled state).
+//!
+//! Failure bookkeeping: a departing stream releases its link bandwidth
+//! only if its admission epoch still matches the server's failure epoch;
+//! otherwise the stream was already killed by [`LinkState::fail`] and the
+//! departure is stale. Backbone reservations of redirected streams are
+//! reclaimed at the stream's *scheduled* end even if the proxy failed
+//! earlier — a deliberate, documented simplification (the backbone pool
+//! is shared, so the error is a short-lived over-reservation).
+
+use crate::dispatch::{AdmissionPolicy, Decision, Dispatcher};
+use crate::event::{Departure, DepartureQueue};
+use crate::failure::FailurePlan;
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::server::LinkState;
+use crate::time::SimTime;
+use vod_model::{Catalog, ClusterSpec, Layout, ModelError};
+use vod_workload::Trace;
+
+/// Run-time knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// How requests are routed and admitted.
+    pub policy: AdmissionPolicy,
+    /// Peak-period length in minutes; load sampling and the report's
+    /// time averages cover `[0, horizon_min]`. The paper uses 90.
+    pub horizon_min: f64,
+    /// Load-sampling cadence in minutes.
+    pub sample_interval_min: f64,
+    /// Injected server outages (empty = the paper's failure-free runs).
+    pub failures: FailurePlan,
+    /// Record the full per-sample load series in the report (off by
+    /// default; used for plotting Figure-6-style time series).
+    pub record_series: bool,
+}
+
+impl Default for SimConfig {
+    /// The paper's defaults: strict static round-robin admission, a
+    /// 90-minute peak period, 1-minute load samples, no failures.
+    fn default() -> Self {
+        SimConfig {
+            policy: AdmissionPolicy::StaticRoundRobin,
+            horizon_min: 90.0,
+            sample_interval_min: 1.0,
+            failures: FailurePlan::none(),
+            record_series: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Alias for [`Default::default`], spelling out the provenance.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+}
+
+/// A bound simulation: catalog + cluster + layout + config.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    catalog: &'a Catalog,
+    cluster: &'a ClusterSpec,
+    layout: &'a Layout,
+    config: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Binds and cross-validates the inputs (dimensions and the storage
+    /// constraint (4); bandwidth is enforced dynamically by admission).
+    pub fn new(
+        catalog: &'a Catalog,
+        cluster: &'a ClusterSpec,
+        layout: &'a Layout,
+        config: SimConfig,
+    ) -> Result<Self, ModelError> {
+        if layout.n_videos() != catalog.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: layout.n_videos(),
+                actual: catalog.len(),
+            });
+        }
+        if layout.n_servers() != cluster.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: layout.n_servers(),
+                actual: cluster.len(),
+            });
+        }
+        if !config.horizon_min.is_finite() || config.horizon_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "horizon_min",
+                value: config.horizon_min,
+            });
+        }
+        if !config.sample_interval_min.is_finite() || config.sample_interval_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "sample_interval_min",
+                value: config.sample_interval_min,
+            });
+        }
+        for o in config.failures.outages() {
+            if o.server.index() >= cluster.len() {
+                return Err(ModelError::UnknownServer(o.server));
+            }
+        }
+        layout.validate_storage(catalog, cluster)?;
+        Ok(Simulation {
+            catalog,
+            cluster,
+            layout,
+            config,
+        })
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `trace` and reports the outcome.
+    pub fn run(&self, trace: &Trace) -> Result<SimReport, ModelError> {
+        let mut links = LinkState::new(self.cluster);
+        let mut dispatcher = Dispatcher::new(self.config.policy, self.catalog.len());
+        let mut metrics = MetricsCollector::new(self.catalog.len());
+        metrics.record_series(self.config.record_series);
+        let mut departures = DepartureQueue::new();
+
+        let transitions = self.config.failures.transitions();
+        let mut next_transition = 0usize;
+        let sample_step = self.config.sample_interval_min;
+        let mut next_sample_min = 0.0f64;
+        let horizon = self.config.horizon_min;
+
+        // Processes every background event (departure / transition /
+        // sample) with an instant <= `t`, in time order; ties break
+        // departure-first, then transition, then sample.
+        let advance_to = |t: SimTime,
+                              links: &mut LinkState,
+                              dispatcher: &mut Dispatcher,
+                              metrics: &mut MetricsCollector,
+                              departures: &mut DepartureQueue,
+                              next_transition: &mut usize,
+                              next_sample_min: &mut f64| {
+            loop {
+                let dep_at = departures.next_time();
+                let tr_at = transitions.get(*next_transition).map(|x| x.at);
+                let sample_due = *next_sample_min <= horizon;
+                let sample_at = if sample_due {
+                    Some(SimTime::from_min(*next_sample_min))
+                } else {
+                    None
+                };
+
+                // Smallest due instant wins; departures beat transitions
+                // beat samples on ties (the comparison chain below).
+                let candidates = [dep_at, tr_at, sample_at];
+                let Some(min_at) = candidates.iter().flatten().min().copied() else {
+                    break;
+                };
+                if min_at > t {
+                    break;
+                }
+                if dep_at == Some(min_at) {
+                    let d = departures.pop_due(min_at).expect("peeked");
+                    if links.epoch(d.server) == d.epoch {
+                        links.release(d.server, d.kbps);
+                    }
+                    if d.backbone_kbps > 0 {
+                        dispatcher.release_backbone(d.backbone_kbps);
+                    }
+                } else if tr_at == Some(min_at) {
+                    let tr = transitions[*next_transition];
+                    *next_transition += 1;
+                    if tr.up {
+                        links.recover(tr.server);
+                    } else {
+                        let dropped = links.fail(tr.server);
+                        metrics.on_disrupted(dropped as u64);
+                    }
+                } else {
+                    metrics.sample_loads(&links.stream_loads(), *next_sample_min);
+                    *next_sample_min += sample_step;
+                }
+            }
+        };
+
+        for req in trace.requests() {
+            let t = SimTime::from_min(req.arrival_min);
+            advance_to(
+                t,
+                &mut links,
+                &mut dispatcher,
+                &mut metrics,
+                &mut departures,
+                &mut next_transition,
+                &mut next_sample_min,
+            );
+
+            let video = self
+                .catalog
+                .get(req.video)
+                .ok_or(ModelError::UnknownVideo(req.video))?;
+            let kbps = video.bitrate.kbps() as u64;
+
+            metrics.on_arrival(req.video.index());
+            match dispatcher.dispatch(req.video, kbps, self.layout, &links) {
+                Decision::Admit {
+                    server,
+                    backbone_kbps,
+                } => {
+                    links.admit(server, kbps);
+                    metrics.on_admit(backbone_kbps > 0);
+                    departures.push(Departure {
+                        at: t + SimTime::from_secs(video.duration_s),
+                        server,
+                        video: req.video,
+                        kbps,
+                        backbone_kbps,
+                        epoch: links.epoch(server),
+                    });
+                }
+                Decision::Reject => metrics.on_reject(req.video.index()),
+            }
+            debug_assert!(links.within_capacity());
+        }
+
+        // Tail: run the remaining background events out to the horizon,
+        // then retire whatever still streams past it.
+        advance_to(
+            SimTime::from_min(horizon),
+            &mut links,
+            &mut dispatcher,
+            &mut metrics,
+            &mut departures,
+            &mut next_transition,
+            &mut next_sample_min,
+        );
+        for d in departures.drain_all() {
+            if links.epoch(d.server) == d.epoch {
+                links.release(d.server, d.kbps);
+            }
+            if d.backbone_kbps > 0 {
+                dispatcher.release_backbone(d.backbone_kbps);
+            }
+        }
+        debug_assert_eq!(links.total_streams(), 0);
+        debug_assert_eq!(dispatcher.backbone_used_kbps(), 0);
+
+        Ok(metrics.finish(self.config.horizon_min))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::Outage;
+    use vod_model::{BitRate, ServerId, ServerSpec, VideoId};
+    use vod_workload::{Request, Trace};
+
+    /// One video on one server; the server carries exactly one stream.
+    fn tiny_world() -> (Catalog, ClusterSpec, Layout) {
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap(); // 10-minute video
+        let cluster = ClusterSpec::homogeneous(
+            1,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 4_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+        (catalog, cluster, layout)
+    }
+
+    fn req(min: f64, v: u32) -> Request {
+        Request {
+            arrival_min: min,
+            video: VideoId(v),
+        }
+    }
+
+    fn run_tiny(requests: Vec<Request>) -> SimReport {
+        let (catalog, cluster, layout) = tiny_world();
+        let sim =
+            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        sim.run(&Trace::new(requests).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn overlapping_requests_reject_second() {
+        let r = run_tiny(vec![req(0.0, 0), req(5.0, 0)]);
+        assert_eq!(r.arrivals, 2);
+        assert_eq!(r.admitted, 1);
+        assert_eq!(r.rejected, 1);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn sequential_requests_both_admitted() {
+        // Video is 10 minutes; second arrives at t=10 exactly as the first
+        // ends — the departure is processed first, so it's admitted.
+        let r = run_tiny(vec![req(0.0, 0), req(10.0, 0)]);
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.rejected, 0);
+    }
+
+    #[test]
+    fn arrival_just_before_departure_rejected() {
+        let r = run_tiny(vec![req(0.0, 0), req(9.99, 0)]);
+        assert_eq!(r.admitted, 1);
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn three_way_contention() {
+        let r = run_tiny(vec![req(0.0, 0), req(1.0, 0), req(11.0, 0)]);
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let r = run_tiny(vec![]);
+        assert_eq!(r.arrivals, 0);
+        assert_eq!(r.rejection_rate, 0.0);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn replicated_video_spreads_over_servers() {
+        // 1 video, 2 replicas, 1 stream per server: two simultaneous
+        // requests both admitted under static RR (one per replica).
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 4_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(2, vec![vec![ServerId(0), ServerId(1)]]).unwrap();
+        let sim =
+            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let r = sim
+            .run(&Trace::new(vec![req(0.0, 0), req(0.5, 0), req(1.0, 0)]).unwrap())
+            .unwrap();
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn backbone_redirect_saves_requests() {
+        // v0 only on s0 (capacity 1 stream); s1 idle. Second concurrent
+        // request is saved by redirection through s1.
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 4_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(2, vec![vec![ServerId(0)]]).unwrap();
+        let trace = Trace::new(vec![req(0.0, 0), req(1.0, 0)]).unwrap();
+        let cfg = SimConfig {
+            policy: AdmissionPolicy::BackboneRedirect {
+                backbone_capacity_kbps: 1_000_000,
+            },
+            ..SimConfig::paper_default()
+        };
+        let r = Simulation::new(&catalog, &cluster, &layout, cfg)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.redirected, 1);
+        assert_eq!(r.rejected, 0);
+    }
+
+    #[test]
+    fn unknown_video_is_an_error() {
+        let (catalog, cluster, layout) = tiny_world();
+        let sim =
+            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let trace = Trace::new(vec![req(0.0, 5)]).unwrap();
+        assert!(matches!(
+            sim.run(&trace),
+            Err(ModelError::UnknownVideo(VideoId(5)))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let (catalog, cluster, _) = tiny_world();
+        let layout2 = Layout::new(2, vec![vec![ServerId(0)]]).unwrap();
+        assert!(
+            Simulation::new(&catalog, &cluster, &layout2, SimConfig::paper_default()).is_err()
+        );
+        let cfg = SimConfig {
+            horizon_min: 0.0,
+            ..SimConfig::paper_default()
+        };
+        let layout = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+        assert!(Simulation::new(&catalog, &cluster, &layout, cfg).is_err());
+    }
+
+    #[test]
+    fn storage_constraint_checked_at_bind_time() {
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            1,
+            ServerSpec {
+                storage_bytes: 1, // cannot hold the replica
+                bandwidth_kbps: 4_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+        assert!(matches!(
+            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()),
+            Err(ModelError::StorageExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn imbalance_sampled_nonzero_under_skewed_layout() {
+        // Two servers; all load lands on s0.
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 3_000).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 400_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(2, vec![vec![ServerId(0)]]).unwrap();
+        let trace = Trace::new(vec![req(0.0, 0), req(1.0, 0), req(2.0, 0)]).unwrap();
+        let r = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default())
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        assert!(r.mean_imbalance_cv > 0.5);
+        assert_eq!(r.peak_concurrent_streams, 3);
+    }
+
+    // ---- failure injection ----
+
+    fn failing_cfg(outages: Vec<Outage>) -> SimConfig {
+        SimConfig {
+            failures: FailurePlan::new(outages).unwrap(),
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn failure_disrupts_active_streams() {
+        let (catalog, cluster, layout) = tiny_world();
+        let cfg = failing_cfg(vec![Outage {
+            server: ServerId(0),
+            down_at_min: 5.0,
+            up_at_min: None,
+        }]);
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        // Stream admitted at t=0 (runs to t=10) is killed at t=5; a later
+        // request hits a dead server and is rejected.
+        let r = sim
+            .run(&Trace::new(vec![req(0.0, 0), req(6.0, 0)]).unwrap())
+            .unwrap();
+        assert_eq!(r.admitted, 1);
+        assert_eq!(r.disrupted, 1);
+        assert_eq!(r.rejected, 1);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn recovery_restores_service() {
+        let (catalog, cluster, layout) = tiny_world();
+        let cfg = failing_cfg(vec![Outage {
+            server: ServerId(0),
+            down_at_min: 5.0,
+            up_at_min: Some(8.0),
+        }]);
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let r = sim
+            .run(&Trace::new(vec![req(0.0, 0), req(6.0, 0), req(9.0, 0)]).unwrap())
+            .unwrap();
+        // t=0 admitted then disrupted at 5; t=6 rejected (down); t=9
+        // admitted (recovered, and the old stream's bandwidth was cleared
+        // by the failure — its stale departure at t=10 must not
+        // double-release).
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.disrupted, 1);
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn stale_departure_does_not_underflow() {
+        // The killed stream's departure (t=10) pops after recovery and a
+        // new admission; with epoch tracking it must not release the new
+        // stream's bandwidth. If it did, the second release (from the new
+        // stream's real departure) would underflow and panic in debug.
+        let (catalog, cluster, layout) = tiny_world();
+        let cfg = failing_cfg(vec![Outage {
+            server: ServerId(0),
+            down_at_min: 1.0,
+            up_at_min: Some(2.0),
+        }]);
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let r = sim
+            .run(&Trace::new(vec![req(0.0, 0), req(3.0, 0), req(20.0, 0)]).unwrap())
+            .unwrap();
+        assert_eq!(r.admitted, 3);
+        assert_eq!(r.disrupted, 1);
+    }
+
+    #[test]
+    fn replicas_survive_single_failure_with_failover() {
+        // v0 on two servers; s0 dies mid-run. Failover keeps serving from
+        // s1 while strict static RR loses every other request.
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 60).unwrap(); // 1-min video
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps: 400_000,
+            },
+        )
+        .unwrap();
+        let layout = Layout::new(2, vec![vec![ServerId(0), ServerId(1)]]).unwrap();
+        let reqs: Vec<Request> = (0..20).map(|k| req(10.0 + k as f64 * 2.0, 0)).collect();
+        let outage = vec![Outage {
+            server: ServerId(0),
+            down_at_min: 5.0,
+            up_at_min: None,
+        }];
+
+        let strict = Simulation::new(
+            &catalog,
+            &cluster,
+            &layout,
+            failing_cfg(outage.clone()),
+        )
+        .unwrap()
+        .run(&Trace::new(reqs.clone()).unwrap())
+        .unwrap();
+        // Static RR alternates; every dispatch to s0 dies.
+        assert_eq!(strict.rejected, 10);
+
+        let failover_cfg = SimConfig {
+            policy: AdmissionPolicy::RoundRobinFailover,
+            failures: FailurePlan::new(outage).unwrap(),
+            ..SimConfig::paper_default()
+        };
+        let failover = Simulation::new(&catalog, &cluster, &layout, failover_cfg)
+            .unwrap()
+            .run(&Trace::new(reqs).unwrap())
+            .unwrap();
+        assert_eq!(failover.rejected, 0);
+    }
+
+    #[test]
+    fn failure_on_unknown_server_rejected_at_bind() {
+        let (catalog, cluster, layout) = tiny_world();
+        let cfg = failing_cfg(vec![Outage {
+            server: ServerId(9),
+            down_at_min: 5.0,
+            up_at_min: None,
+        }]);
+        assert!(matches!(
+            Simulation::new(&catalog, &cluster, &layout, cfg),
+            Err(ModelError::UnknownServer(ServerId(9)))
+        ));
+    }
+}

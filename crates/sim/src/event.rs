@@ -1,0 +1,190 @@
+//! The departure event queue.
+//!
+//! Arrivals replay directly from the (time-sorted) trace, so the only
+//! events that need a priority queue are stream completions. The queue is
+//! a min-heap keyed by `(time, sequence)`; the sequence number makes
+//! ordering fully deterministic when several streams end on the same tick.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vod_model::{ServerId, VideoId};
+
+/// A scheduled stream completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Departure {
+    /// When the stream ends.
+    pub at: SimTime,
+    /// The server whose outgoing link frees up.
+    pub server: ServerId,
+    /// The video being streamed (for per-video accounting).
+    pub video: VideoId,
+    /// Outgoing bandwidth released, in kbps.
+    pub kbps: u64,
+    /// Backbone bandwidth released, in kbps (non-zero only for redirected
+    /// streams under the backbone extension).
+    pub backbone_kbps: u64,
+    /// The serving server's failure epoch at admission time; a departure
+    /// whose epoch no longer matches is stale (the stream was killed by a
+    /// failure) and must not release link bandwidth.
+    pub epoch: u32,
+}
+
+/// Deterministic min-heap of departures.
+#[derive(Debug, Default)]
+pub struct DepartureQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, DepartureRecord)>>,
+    seq: u64,
+}
+
+/// Heap payload — kept `Ord` by field order, but the `(time, seq)` prefix
+/// always decides first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DepartureRecord {
+    server: ServerId,
+    video: VideoId,
+    kbps: u64,
+    backbone_kbps: u64,
+    epoch: u32,
+}
+
+impl DepartureQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a departure.
+    pub fn push(&mut self, d: Departure) {
+        self.heap.push(Reverse((
+            d.at,
+            self.seq,
+            DepartureRecord {
+                server: d.server,
+                video: d.video,
+                kbps: d.kbps,
+                backbone_kbps: d.backbone_kbps,
+                epoch: d.epoch,
+            },
+        )));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the next departure at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Departure> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= now => {
+                let Reverse((at, _, rec)) = self.heap.pop().expect("peeked");
+                Some(Departure {
+                    at,
+                    server: rec.server,
+                    video: rec.video,
+                    kbps: rec.kbps,
+                    backbone_kbps: rec.backbone_kbps,
+                    epoch: rec.epoch,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The next departure's instant, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Drains every remaining departure in time order (end-of-run cleanup).
+    pub fn drain_all(&mut self) -> Vec<Departure> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(d) = self.pop_due(SimTime(u64::MAX)) {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Number of scheduled departures (active streams).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no streams are active.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(at: u64, server: u32) -> Departure {
+        Departure {
+            at: SimTime(at),
+            server: ServerId(server),
+            video: VideoId(0),
+            kbps: 4_000,
+            backbone_kbps: 0,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = DepartureQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(dep(42, 0));
+        q.push(dep(7, 1));
+        assert_eq!(q.next_time(), Some(SimTime(7)));
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = DepartureQueue::new();
+        q.push(dep(30, 0));
+        q.push(dep(10, 1));
+        q.push(dep(20, 2));
+        assert_eq!(q.pop_due(SimTime(100)).unwrap().at, SimTime(10));
+        assert_eq!(q.pop_due(SimTime(100)).unwrap().at, SimTime(20));
+        assert_eq!(q.pop_due(SimTime(100)).unwrap().at, SimTime(30));
+        assert!(q.pop_due(SimTime(100)).is_none());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = DepartureQueue::new();
+        q.push(dep(50, 0));
+        assert!(q.pop_due(SimTime(49)).is_none());
+        assert!(q.pop_due(SimTime(50)).is_some());
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = DepartureQueue::new();
+        q.push(dep(10, 7));
+        q.push(dep(10, 3));
+        assert_eq!(q.pop_due(SimTime(10)).unwrap().server, ServerId(7));
+        assert_eq!(q.pop_due(SimTime(10)).unwrap().server, ServerId(3));
+    }
+
+    #[test]
+    fn drain_returns_sorted() {
+        let mut q = DepartureQueue::new();
+        for at in [5u64, 1, 9, 3] {
+            q.push(dep(at, 0));
+        }
+        let times: Vec<u64> = q.drain_all().iter().map(|d| d.at.ticks()).collect();
+        assert_eq!(times, vec![1, 3, 5, 9]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_active_streams() {
+        let mut q = DepartureQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(dep(10, 0));
+        q.push(dep(20, 0));
+        assert_eq!(q.len(), 2);
+        q.pop_due(SimTime(15));
+        assert_eq!(q.len(), 1);
+    }
+}

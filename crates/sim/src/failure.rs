@@ -1,0 +1,201 @@
+//! Server-failure injection.
+//!
+//! The paper motivates replication with availability: "Replication …
+//! can simplify the administration and enhance scalability and
+//! reliability of the clusters" and "multiple replicas also offer the
+//! flexibility in reconfiguration" (Sec. 1). This module makes that
+//! claim measurable: a [`FailurePlan`] takes servers down (and
+//! optionally back up) at fixed instants during the run. A failing
+//! server kills its active streams (counted as *disrupted*) and admits
+//! nothing until recovery; whether the cluster keeps serving its videos
+//! depends on the replication degree and the admission policy.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use vod_model::{ModelError, ServerId};
+
+/// One outage: `server` fails at `down_at_min` and recovers at
+/// `up_at_min` (or stays down for the rest of the run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// The failing server.
+    pub server: ServerId,
+    /// Failure instant, minutes from the simulation epoch.
+    pub down_at_min: f64,
+    /// Recovery instant; `None` = permanent for this run.
+    pub up_at_min: Option<f64>,
+}
+
+/// A validated set of outages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FailurePlan {
+    outages: Vec<Outage>,
+}
+
+/// Internal: a single up/down transition, sorted by time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Transition {
+    pub at: SimTime,
+    pub server: ServerId,
+    pub up: bool,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Validates and builds: non-negative finite times, recovery after
+    /// failure, and no overlapping outages of one server.
+    pub fn new(mut outages: Vec<Outage>) -> Result<Self, ModelError> {
+        for o in &outages {
+            if !o.down_at_min.is_finite() || o.down_at_min < 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "down_at_min",
+                    value: o.down_at_min,
+                });
+            }
+            if let Some(up) = o.up_at_min {
+                if !up.is_finite() || up <= o.down_at_min {
+                    return Err(ModelError::InvalidParameter {
+                        name: "up_at_min",
+                        value: up,
+                    });
+                }
+            }
+        }
+        outages.sort_by(|a, b| {
+            a.down_at_min
+                .total_cmp(&b.down_at_min)
+                .then(a.server.cmp(&b.server))
+        });
+        // Overlap check per server.
+        for i in 0..outages.len() {
+            for j in (i + 1)..outages.len() {
+                if outages[i].server != outages[j].server {
+                    continue;
+                }
+                let i_end = outages[i].up_at_min.unwrap_or(f64::INFINITY);
+                if outages[j].down_at_min < i_end {
+                    return Err(ModelError::InvalidParameter {
+                        name: "overlapping outages",
+                        value: outages[j].down_at_min,
+                    });
+                }
+            }
+        }
+        Ok(FailurePlan { outages })
+    }
+
+    /// The outages, sorted by failure time.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// Flattens into time-sorted up/down transitions for the engine.
+    pub(crate) fn transitions(&self) -> Vec<Transition> {
+        let mut t: Vec<Transition> = Vec::with_capacity(self.outages.len() * 2);
+        for o in &self.outages {
+            t.push(Transition {
+                at: SimTime::from_min(o.down_at_min),
+                server: o.server,
+                up: false,
+            });
+            if let Some(up) = o.up_at_min {
+                t.push(Transition {
+                    at: SimTime::from_min(up),
+                    server: o.server,
+                    up: true,
+                });
+            }
+        }
+        t.sort_by_key(|x| (x.at, x.server, x.up));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_plan_sorted() {
+        let plan = FailurePlan::new(vec![
+            Outage {
+                server: ServerId(1),
+                down_at_min: 30.0,
+                up_at_min: Some(60.0),
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: None,
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.outages()[0].server, ServerId(0));
+        let t = plan.transitions();
+        assert_eq!(t.len(), 3);
+        assert!(t.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn rejects_bad_times() {
+        assert!(FailurePlan::new(vec![Outage {
+            server: ServerId(0),
+            down_at_min: -1.0,
+            up_at_min: None,
+        }])
+        .is_err());
+        assert!(FailurePlan::new(vec![Outage {
+            server: ServerId(0),
+            down_at_min: 10.0,
+            up_at_min: Some(10.0),
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_overlaps() {
+        // Permanent failure followed by another outage of the same server.
+        assert!(FailurePlan::new(vec![
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: None,
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 50.0,
+                up_at_min: Some(60.0),
+            },
+        ])
+        .is_err());
+        // Back-to-back outages are fine.
+        assert!(FailurePlan::new(vec![
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: Some(20.0),
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 20.0,
+                up_at_min: Some(30.0),
+            },
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FailurePlan::none().is_empty());
+        assert!(FailurePlan::none().transitions().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Discrete-event simulator of a distributed-storage VoD cluster.
+//!
+//! Reproduces the evaluation substrate of Zhou & Xu (ICPP 2002), Sec. 5:
+//! requests arrive by a Poisson process during a 90-minute peak period,
+//! each picks a video by Zipf-like popularity, the dispatcher routes it to
+//! a replica of that video under a *static round-robin scheduling policy*,
+//! and "a request was rejected if required communication bandwidth was
+//! unavailable". An admitted stream occupies the video's bit rate on the
+//! serving server's outgoing link for the full video duration.
+//!
+//! Modules:
+//!
+//! * [`time`] — integer millisecond simulation time (total order, no float
+//!   comparisons on the event queue);
+//! * [`event`] — the departure event queue (arrivals replay in trace
+//!   order, so only departures need a heap);
+//! * [`server`] — per-server outgoing-link occupancy;
+//! * [`dispatch`] — admission policies: the paper's strict static
+//!   round-robin, plus least-loaded-replica, round-robin failover, and the
+//!   backbone-redirection extension of the authors' follow-up work \[19\];
+//! * [`failure`] — injected server outages (availability experiments);
+//! * [`striping`] — the wide-striping comparator architecture the paper
+//!   argues against (perfect balance, full failure coupling);
+//! * [`metrics`] — rejection accounting and load-imbalance sampling;
+//! * [`engine`] — the run loop tying it together.
+//!
+//! The simulator is single-threaded and allocation-free on the hot path;
+//! parallelism lives one level up (the experiment runner fans out
+//! independent replications across threads).
+//!
+//! ```
+//! use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ServerId, ServerSpec};
+//! use vod_sim::{SimConfig, Simulation};
+//! use vod_workload::{Request, Trace};
+//! use vod_model::VideoId;
+//!
+//! // One 10-minute video on a 1-stream server: the second concurrent
+//! // request is rejected, the third (after the first ends) admitted.
+//! let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap();
+//! let cluster = ClusterSpec::homogeneous(1, ServerSpec {
+//!     storage_bytes: u64::MAX,
+//!     bandwidth_kbps: 4_000,
+//! }).unwrap();
+//! let layout = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
+//! let trace = Trace::new(vec![
+//!     Request { arrival_min: 0.0, video: VideoId(0) },
+//!     Request { arrival_min: 5.0, video: VideoId(0) },
+//!     Request { arrival_min: 10.0, video: VideoId(0) },
+//! ]).unwrap();
+//!
+//! let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::default()).unwrap();
+//! let report = sim.run(&trace).unwrap();
+//! assert_eq!((report.admitted, report.rejected), (2, 1));
+//! assert!(report.is_conservative());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dispatch;
+pub mod engine;
+pub mod event;
+pub mod failure;
+pub mod metrics;
+pub mod server;
+pub mod striping;
+pub mod time;
+
+pub use dispatch::AdmissionPolicy;
+pub use engine::{SimConfig, Simulation};
+pub use failure::{FailurePlan, Outage};
+pub use metrics::SimReport;
+pub use striping::{StripedConfig, StripedSimulation};
+pub use time::SimTime;

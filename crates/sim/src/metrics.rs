@@ -1,0 +1,297 @@
+//! Rejection accounting and load-imbalance sampling.
+//!
+//! The evaluation's primary metric is the **rejection rate** ("We use the
+//! rejection rate as the performance metric", Sec. 5); Figure 6 adds the
+//! **load-imbalance degree L(%)** sampled during the run. The collector
+//! samples per-server loads (in concurrent streams) on a fixed cadence and
+//! averages the Eq. (2)/(3) imbalance over all samples with non-zero mean
+//! load.
+
+use serde::{Deserialize, Serialize};
+use vod_model::load;
+
+/// One recorded load snapshot (when series recording is enabled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSample {
+    /// Sample instant, minutes from the simulation epoch.
+    pub at_min: f64,
+    /// Per-server concurrent stream counts.
+    pub streams: Vec<f64>,
+}
+
+/// Online metrics accumulator.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    redirected: u64,
+    disrupted: u64,
+    per_video_arrivals: Vec<u64>,
+    per_video_rejections: Vec<u64>,
+    imbalance_cv_sum: f64,
+    imbalance_maxdev_rel_sum: f64,
+    imbalance_samples: u64,
+    imbalance_maxdev_abs_sum: f64,
+    all_samples: u64,
+    peak_streams: u64,
+    stream_time_integral: f64,
+    last_sample_min: f64,
+    record_series: bool,
+    series: Vec<LoadSample>,
+}
+
+impl MetricsCollector {
+    /// A collector for `n_videos` videos.
+    pub fn new(n_videos: usize) -> Self {
+        MetricsCollector {
+            arrivals: 0,
+            admitted: 0,
+            rejected: 0,
+            redirected: 0,
+            disrupted: 0,
+            per_video_arrivals: vec![0; n_videos],
+            per_video_rejections: vec![0; n_videos],
+            imbalance_cv_sum: 0.0,
+            imbalance_maxdev_rel_sum: 0.0,
+            imbalance_samples: 0,
+            imbalance_maxdev_abs_sum: 0.0,
+            all_samples: 0,
+            peak_streams: 0,
+            stream_time_integral: 0.0,
+            last_sample_min: 0.0,
+            record_series: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Enables per-sample load-series recording (off by default — the
+    /// series costs `N × samples` floats per run).
+    pub fn record_series(&mut self, on: bool) {
+        self.record_series = on;
+    }
+
+    /// Records an arrival for `video` (0-based index).
+    pub fn on_arrival(&mut self, video: usize) {
+        self.arrivals += 1;
+        self.per_video_arrivals[video] += 1;
+    }
+
+    /// Records an admission (`redirected` marks backbone-proxied streams).
+    pub fn on_admit(&mut self, redirected: bool) {
+        self.admitted += 1;
+        if redirected {
+            self.redirected += 1;
+        }
+    }
+
+    /// Records a rejection for `video`.
+    pub fn on_reject(&mut self, video: usize) {
+        self.rejected += 1;
+        self.per_video_rejections[video] += 1;
+    }
+
+    /// Records `count` streams killed by a server failure.
+    pub fn on_disrupted(&mut self, count: u64) {
+        self.disrupted += count;
+    }
+
+    /// Takes a load sample: `stream_loads` are per-server concurrent
+    /// stream counts at minute `now_min`.
+    pub fn sample_loads(&mut self, stream_loads: &[f64], now_min: f64) {
+        let total: f64 = stream_loads.iter().sum();
+        if total > 0.0 {
+            self.imbalance_cv_sum += load::coefficient_of_variation(stream_loads);
+            let mean = total / stream_loads.len() as f64;
+            self.imbalance_maxdev_rel_sum += load::max_deviation(stream_loads) / mean;
+            self.imbalance_samples += 1;
+        }
+        // Absolute Eq. (2) deviation in streams, averaged over *all*
+        // samples (idle samples contribute 0) — the measure behind the
+        // paper's Figure 6 shape when normalized by link capacity.
+        self.imbalance_maxdev_abs_sum += load::max_deviation(stream_loads);
+        self.all_samples += 1;
+        let streams = total as u64;
+        self.peak_streams = self.peak_streams.max(streams);
+        let dt = (now_min - self.last_sample_min).max(0.0);
+        self.stream_time_integral += total * dt;
+        self.last_sample_min = now_min;
+        if self.record_series {
+            self.series.push(LoadSample {
+                at_min: now_min,
+                streams: stream_loads.to_vec(),
+            });
+        }
+    }
+
+    /// Finalizes into an immutable report. `horizon_min` is the simulated
+    /// peak-period length.
+    pub fn finish(self, horizon_min: f64) -> SimReport {
+        let n = self.imbalance_samples.max(1) as f64;
+        SimReport {
+            arrivals: self.arrivals,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            redirected: self.redirected,
+            disrupted: self.disrupted,
+            rejection_rate: if self.arrivals == 0 {
+                0.0
+            } else {
+                self.rejected as f64 / self.arrivals as f64
+            },
+            mean_imbalance_cv: self.imbalance_cv_sum / n,
+            mean_imbalance_maxdev_rel: self.imbalance_maxdev_rel_sum / n,
+            mean_imbalance_maxdev_streams: self.imbalance_maxdev_abs_sum
+                / self.all_samples.max(1) as f64,
+            peak_concurrent_streams: self.peak_streams,
+            mean_concurrent_streams: if horizon_min > 0.0 {
+                self.stream_time_integral / horizon_min
+            } else {
+                0.0
+            },
+            per_video_arrivals: self.per_video_arrivals,
+            per_video_rejections: self.per_video_rejections,
+            series: self.series,
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total requests that arrived during the peak period.
+    pub arrivals: u64,
+    /// Requests admitted (direct + redirected).
+    pub admitted: u64,
+    /// Requests rejected for lack of bandwidth.
+    pub rejected: u64,
+    /// Admitted requests served via backbone redirection.
+    pub redirected: u64,
+    /// Admitted streams killed mid-playback by injected server failures.
+    pub disrupted: u64,
+    /// `rejected / arrivals` — the paper's primary metric.
+    pub rejection_rate: f64,
+    /// Time-averaged Eq. (3) load-imbalance degree (coefficient of
+    /// variation of per-server stream loads) over non-idle samples.
+    pub mean_imbalance_cv: f64,
+    /// Time-averaged Eq. (2) imbalance normalized by the mean load.
+    pub mean_imbalance_maxdev_rel: f64,
+    /// Time-averaged absolute Eq. (2) imbalance, in concurrent streams
+    /// (idle samples included as zero). Divided by the per-server stream
+    /// capacity this is the Figure 6 "L(%)" that rises with load, peaks
+    /// below saturation and collapses once every server is full.
+    pub mean_imbalance_maxdev_streams: f64,
+    /// Largest concurrent stream count observed cluster-wide.
+    pub peak_concurrent_streams: u64,
+    /// Time-averaged concurrent stream count.
+    pub mean_concurrent_streams: f64,
+    /// Arrivals per video.
+    pub per_video_arrivals: Vec<u64>,
+    /// Rejections per video.
+    pub per_video_rejections: Vec<u64>,
+    /// Per-sample load snapshots; empty unless
+    /// [`crate::SimConfig::record_series`] was set.
+    pub series: Vec<LoadSample>,
+}
+
+impl SimReport {
+    /// Conservation check: every arrival was either admitted or rejected.
+    pub fn is_conservative(&self) -> bool {
+        self.admitted + self.rejected == self.arrivals
+            && self.per_video_arrivals.iter().sum::<u64>() == self.arrivals
+            && self.per_video_rejections.iter().sum::<u64>() == self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_flow_through() {
+        let mut c = MetricsCollector::new(2);
+        c.on_arrival(0);
+        c.on_admit(false);
+        c.on_arrival(1);
+        c.on_reject(1);
+        c.on_arrival(0);
+        c.on_admit(true);
+        let r = c.finish(90.0);
+        assert_eq!(r.arrivals, 3);
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.redirected, 1);
+        assert_eq!(r.disrupted, 0);
+        assert!((r.rejection_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.per_video_arrivals, vec![2, 1]);
+        assert_eq!(r.per_video_rejections, vec![0, 1]);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn series_recorded_only_when_enabled() {
+        let mut off = MetricsCollector::new(1);
+        off.sample_loads(&[1.0, 2.0], 1.0);
+        assert!(off.finish(90.0).series.is_empty());
+
+        let mut on = MetricsCollector::new(1);
+        on.record_series(true);
+        on.sample_loads(&[1.0, 2.0], 1.0);
+        on.sample_loads(&[3.0, 0.0], 2.0);
+        let r = on.finish(90.0);
+        assert_eq!(r.series.len(), 2);
+        assert_eq!(r.series[0].streams, vec![1.0, 2.0]);
+        assert_eq!(r.series[1].at_min, 2.0);
+    }
+
+    #[test]
+    fn disruption_counter_accumulates() {
+        let mut c = MetricsCollector::new(1);
+        c.on_disrupted(3);
+        c.on_disrupted(2);
+        assert_eq!(c.finish(90.0).disrupted, 5);
+    }
+
+    #[test]
+    fn imbalance_averaged_over_busy_samples() {
+        let mut c = MetricsCollector::new(1);
+        c.sample_loads(&[0.0, 0.0], 0.0); // idle: skipped
+        c.sample_loads(&[2.0, 4.0, 6.0], 1.0);
+        c.sample_loads(&[4.0, 4.0, 4.0], 2.0);
+        let r = c.finish(90.0);
+        let cv1 = (8.0f64 / 3.0).sqrt() / 4.0;
+        assert!((r.mean_imbalance_cv - cv1 / 2.0).abs() < 1e-12);
+        // maxdev_rel sample 1: (6-4)/4 = 0.5; sample 2: 0.
+        assert!((r.mean_imbalance_maxdev_rel - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_maxdev_includes_idle_samples() {
+        let mut c = MetricsCollector::new(1);
+        c.sample_loads(&[0.0, 0.0], 0.0); // idle: counts as 0 deviation
+        c.sample_loads(&[2.0, 6.0], 1.0); // maxdev = 2 (mean 4)
+        let r = c.finish(90.0);
+        assert!((r.mean_imbalance_maxdev_streams - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_and_mean_streams() {
+        let mut c = MetricsCollector::new(1);
+        c.sample_loads(&[1.0, 1.0], 1.0);
+        c.sample_loads(&[5.0, 5.0], 2.0);
+        c.sample_loads(&[0.0, 0.0], 3.0);
+        let r = c.finish(3.0);
+        assert_eq!(r.peak_concurrent_streams, 10);
+        // Integral: 2*1 (0->1 with load 2) + 10*1 + 0*1 = 12; /3 = 4.
+        assert!((r.mean_concurrent_streams - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let c = MetricsCollector::new(1);
+        let r = c.finish(90.0);
+        assert_eq!(r.rejection_rate, 0.0);
+        assert_eq!(r.mean_imbalance_cv, 0.0);
+        assert!(r.is_conservative());
+    }
+}

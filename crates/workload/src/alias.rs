@@ -1,0 +1,181 @@
+//! Walker's alias method for O(1) categorical sampling.
+//!
+//! The simulator draws one video per request; with millions of requests per
+//! parameter sweep, inverse-CDF binary search (O(log M)) is measurably
+//! slower than an alias table (O(1) per draw after O(M) setup). The
+//! construction below is Vose's numerically stable variant.
+
+use rand::Rng;
+
+/// A Walker/Vose alias table over `m` categories.
+///
+/// Sampling draws one uniform index and one uniform coin — two RNG calls,
+/// no search.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each bucket's own category.
+    prob: Vec<f64>,
+    /// Fallback category of each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalized). Returns `None` for an empty slice, a non-finite or
+    /// negative weight, or an all-zero total.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let m = weights.len();
+        if m == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+
+        // Scale so the average bucket holds exactly 1.0.
+        let scale = m as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; m];
+
+        // Vose's two-stack partition into under- and over-full buckets.
+        let mut small: Vec<u32> = Vec::with_capacity(m);
+        let mut large: Vec<u32> = Vec::with_capacity(m);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donate the overfull bucket's mass to top up the underfull one.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residual buckets are full up to round-off.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+        }
+
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (construction forbids this).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_chosen() {
+        let table = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_chosen() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freq = empirical(&[1.0; 8], 200_000, 3);
+        for f in freq {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_probabilities() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let freq = empirical(&weights, 400_000, 4);
+        for (f, w) in freq.iter().zip(weights) {
+            let p = w / total;
+            assert!((f - p).abs() < 0.01, "freq {f} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_equals_normalized() {
+        // Same seed, proportional weights -> identical tables -> identical draws.
+        let a = AliasTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = AliasTable::new(&[10.0, 20.0, 30.0]).unwrap();
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn large_table_builds_and_samples_in_range() {
+        let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        assert_eq!(table.len(), 10_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(table.sample(&mut rng) < 10_000);
+        }
+    }
+}

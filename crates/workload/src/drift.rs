@@ -1,0 +1,139 @@
+//! Popularity drift models.
+//!
+//! The paper plans from "a priori knowledge about video popularities"; in
+//! operation that knowledge ages. These models generate day-over-day
+//! demand so the adaptive re-replication extension (and its experiments)
+//! can quantify what mispredicted popularity costs and how fast
+//! re-planning recovers.
+//!
+//! Drift is expressed in **per-video-id weight space** (`weights[v]` is
+//! video `v`'s relative demand that day, not necessarily sorted):
+//! [`vod_model::Popularity`] is rank-ordered by invariant, so identity-
+//! preserving churn cannot be represented there. The planning side ranks
+//! the weights (see `Popularity::ranked_from_weights`) and un-permutes
+//! its layout; the trace side samples the weights directly.
+
+use vod_model::{ModelError, Popularity};
+
+/// A day-indexed demand sequence, as per-video-id weights summing to 1.
+pub trait DriftModel {
+    /// Video demand weights on `day` (0-based); indexed by video id,
+    /// normalized.
+    fn weights(&self, day: u32) -> Vec<f64>;
+
+    /// Number of videos.
+    fn n_videos(&self) -> usize;
+}
+
+/// No drift: the prior stays correct forever (control case). Video id
+/// equals rank, as everywhere else in the workspace.
+#[derive(Debug, Clone)]
+pub struct Stationary {
+    pop: Popularity,
+}
+
+impl Stationary {
+    /// A stationary model around `pop`.
+    pub fn new(pop: Popularity) -> Self {
+        Stationary { pop }
+    }
+}
+
+impl DriftModel for Stationary {
+    fn weights(&self, _day: u32) -> Vec<f64> {
+        self.pop.p().to_vec()
+    }
+
+    fn n_videos(&self) -> usize {
+        self.pop.len()
+    }
+}
+
+/// Rank rotation: each day the ranking shifts by `step` positions
+/// (yesterday's #1 becomes #(1+step), the tail wraps to the top) — a
+/// stylized "new releases displace old hits" churn. The *shape* of the
+/// distribution (the Zipf masses) is preserved; only the identity of the
+/// hot titles moves, which is exactly what invalidates a static
+/// placement.
+#[derive(Debug, Clone)]
+pub struct RankRotation {
+    base: Popularity,
+    step: usize,
+}
+
+impl RankRotation {
+    /// Rotates `base` by `step` ranks per day.
+    pub fn new(base: Popularity, step: usize) -> Result<Self, ModelError> {
+        if step == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "step",
+                value: 0.0,
+            });
+        }
+        Ok(RankRotation { base, step })
+    }
+
+    /// The video id holding rank `rank` (0-based) on `day`.
+    pub fn video_at_rank(&self, day: u32, rank: usize) -> usize {
+        let m = self.base.len();
+        (rank + day as usize * self.step) % m
+    }
+}
+
+impl DriftModel for RankRotation {
+    fn weights(&self, day: u32) -> Vec<f64> {
+        let m = self.base.len();
+        let mut weights = vec![0.0; m];
+        for rank in 0..m {
+            weights[self.video_at_rank(day, rank)] = self.base.get(rank);
+        }
+        weights
+    }
+
+    fn n_videos(&self) -> usize {
+        self.base.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_changes() {
+        let pop = Popularity::zipf(10, 1.0).unwrap();
+        let m = Stationary::new(pop.clone());
+        assert_eq!(m.weights(0), pop.p());
+        assert_eq!(m.weights(100), pop.p());
+        assert_eq!(m.n_videos(), 10);
+    }
+
+    #[test]
+    fn rotation_moves_the_hot_title() {
+        let base = Popularity::zipf(10, 1.0).unwrap();
+        let m = RankRotation::new(base.clone(), 3).unwrap();
+        // Day 0: video 0 is the top title.
+        let d0 = m.weights(0);
+        assert!((d0[0] - base.get(0)).abs() < 1e-12);
+        // Day 1: video 3 holds rank 0; rank 7 wraps onto v0.
+        let d1 = m.weights(1);
+        assert!((d1[3] - base.get(0)).abs() < 1e-12);
+        assert!((d1[0] - base.get(7)).abs() < 1e-12);
+        // Mass is conserved.
+        assert!((d1.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_wraps_fully() {
+        let base = Popularity::zipf(6, 0.8).unwrap();
+        let m = RankRotation::new(base, 1).unwrap();
+        // After M days the rotation returns to the start.
+        assert_eq!(m.weights(0), m.weights(6));
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        let base = Popularity::zipf(6, 0.8).unwrap();
+        assert!(RankRotation::new(base, 0).is_err());
+    }
+}

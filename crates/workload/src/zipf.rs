@@ -1,0 +1,127 @@
+//! Zipf-like video selection.
+//!
+//! Wraps an [`AliasTable`] built from a [`Popularity`] vector: each request
+//! independently chooses the i-th video with probability
+//! `p_i = (1/i^θ) / Σ_j (1/j^θ)` (paper, assumption 1 of Sec. 3.1).
+
+use crate::alias::AliasTable;
+use rand::Rng;
+use vod_model::{ModelError, Popularity, VideoId};
+
+/// Draws [`VideoId`]s according to a (Zipf-like or arbitrary) popularity
+/// distribution in O(1) per draw.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    table: AliasTable,
+}
+
+impl ZipfSampler {
+    /// A sampler for the paper's Zipf-like distribution over `m` videos
+    /// with skew `θ`.
+    pub fn new(m: usize, theta: f64) -> Result<Self, ModelError> {
+        Self::from_popularity(&Popularity::zipf(m, theta)?)
+    }
+
+    /// A sampler for an arbitrary popularity vector.
+    pub fn from_popularity(pop: &Popularity) -> Result<Self, ModelError> {
+        Self::from_raw_weights(pop.p())
+    }
+
+    /// A sampler over raw per-video-id weights (need not be sorted or
+    /// normalized); index `i` of the weight slice is sampled as
+    /// `VideoId(i)`. Preserves video identity for drifting workloads.
+    pub fn from_raw_weights(weights: &[f64]) -> Result<Self, ModelError> {
+        let table = AliasTable::new(weights).ok_or(ModelError::Empty)?;
+        Ok(ZipfSampler { table })
+    }
+
+    /// Number of videos.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Always false: construction rejects empty distributions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws one video.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> VideoId {
+        VideoId(self.table.sample(rng) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::empirical_pmf;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sampler_matches_popularity() {
+        let m = 50;
+        let theta = 1.0;
+        let pop = Popularity::zipf(m, theta).unwrap();
+        let sampler = ZipfSampler::new(m, theta).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let draws: Vec<usize> = (0..400_000)
+            .map(|_| sampler.sample(&mut rng).index())
+            .collect();
+        let pmf = empirical_pmf(&draws, m);
+        for (i, (&f, &p)) in pmf.iter().zip(pop.p()).enumerate() {
+            assert!((f - p).abs() < 0.01, "video {i}: freq {f} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn most_popular_video_dominates_under_high_skew() {
+        let sampler = ZipfSampler::new(100, 1.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut top = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if sampler.sample(&mut rng) == VideoId(0) {
+                top += 1;
+            }
+        }
+        // p_1 = 1/H_100 ≈ 0.1928
+        let f = top as f64 / n as f64;
+        assert!((f - 0.1928).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn uniform_theta_zero() {
+        let sampler = ZipfSampler::new(4, 0.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let draws: Vec<usize> = (0..100_000)
+            .map(|_| sampler.sample(&mut rng).index())
+            .collect();
+        for &f in &empirical_pmf(&draws, 4) {
+            assert!((f - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ZipfSampler::new(0, 1.0).is_err());
+        assert!(ZipfSampler::new(5, -0.1).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = ZipfSampler::new(20, 0.7).unwrap();
+        let a: Vec<_> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

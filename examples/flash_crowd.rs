@@ -1,0 +1,102 @@
+//! Flash crowd: what happens when the popularity prediction is wrong?
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+//!
+//! The paper's placement assumes "a priori knowledge about video
+//! popularities"; its conclusions point at runtime request redirection
+//! [19] as the complement when reality diverges. This example plans for a
+//! Zipf(0.8) ranking, then replays a workload where a mid-tail title
+//! (rank 60) suddenly becomes the hottest video — a flash crowd the plan
+//! never provisioned for — and compares the admission policies' damage
+//! control.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vod_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 200;
+    let planned_theta = 0.8;
+    let lambda = 40.0;
+
+    let planner = ClusterPlanner::builder()
+        .catalog(Catalog::paper_default(m)?)
+        .cluster(ClusterSpec::paper_default(30))
+        .popularity(Popularity::zipf(m, planned_theta)?)
+        .demand_requests(3_600.0)
+        .build()?;
+    let plan = planner.plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)?;
+    println!(
+        "planned for Zipf({planned_theta}): rank-0 video got {} replicas, rank-60 got {}",
+        plan.scheme.replicas()[0],
+        plan.scheme.replicas()[60]
+    );
+
+    // Reality: rank 60 explodes to 20× its predicted share.
+    let mut surprise = Popularity::zipf(m, planned_theta)?.p().to_vec();
+    surprise[60] *= 20.0;
+    // NOTE: from_weights re-sorts into rank order, which would silently
+    // re-identify the videos. Build the trace sampler on the *unsorted*
+    // vector instead, keeping video identities fixed.
+    let total: f64 = surprise.iter().sum();
+    for w in &mut surprise {
+        *w /= total;
+    }
+
+    let policies: [(&str, AdmissionPolicy); 4] = [
+        ("static-rr (paper)", AdmissionPolicy::StaticRoundRobin),
+        ("rr-failover", AdmissionPolicy::RoundRobinFailover),
+        ("least-loaded", AdmissionPolicy::LeastLoadedReplica),
+        (
+            "backbone 2 Gbps",
+            AdmissionPolicy::BackboneRedirect {
+                backbone_capacity_kbps: 2_000_000,
+            },
+        ),
+    ];
+
+    println!("\nflash crowd on rank-60 (20× demand), λ = {lambda} req/min:");
+    println!("{:<18} {:>9} {:>10} {:>12}", "policy", "rejected", "rate", "redirected");
+    for (name, policy) in policies {
+        let mut rng = ChaCha8Rng::seed_from_u64(66);
+        // Hand-build the trace from the surprise distribution.
+        let trace = {
+            use vod_model::VideoId;
+            use vod_workload::{PoissonProcess, Request, Trace};
+            let table = vod_workload::AliasTable::new(&surprise).expect("valid weights");
+            let arrivals = PoissonProcess::new(lambda)?.arrivals_within(90.0, &mut rng);
+            Trace::new(
+                arrivals
+                    .into_iter()
+                    .map(|arrival_min| Request {
+                        arrival_min,
+                        video: VideoId(table.sample(&mut rng) as u32),
+                    })
+                    .collect(),
+            )?
+        };
+        let config = SimConfig {
+            policy,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(planner.catalog(), planner.cluster(), &plan.layout, config)?;
+        let report = sim.run(&trace)?;
+        println!(
+            "{:<18} {:>9} {:>9.2}% {:>11}",
+            name,
+            report.rejected,
+            report.rejection_rate * 100.0,
+            report.redirected,
+        );
+    }
+
+    println!(
+        "\nthe static plan strands rank-60 on {} server(s); dynamic policies \
+         recover some of the loss, backbone redirection the most — the\n\
+         motivation for the authors' follow-up work [19].",
+        plan.scheme.replicas()[60]
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Server failure: how replication degree buys availability.
+//!
+//! ```text
+//! cargo run --release --example server_failure
+//! ```
+//!
+//! The paper argues distributed-storage clusters with whole-video
+//! replication offer "higher reliability" than shared-storage designs.
+//! This example makes that concrete: the same peak hour is replayed while
+//! server 2 crashes at minute 30 and recovers at minute 60, across
+//! replication degrees and admission policies. With one copy per video,
+//! everything that lived on the dead server is simply gone; with replicas
+//! and failover the cluster degrades gracefully.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vod_core::prelude::*;
+use vod_model::ServerId;
+use vod_sim::{FailurePlan, Outage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 200;
+    let lambda = 30.0; // 75% of the 40 req/min capacity
+    let outage = FailurePlan::new(vec![Outage {
+        server: ServerId(2),
+        down_at_min: 30.0,
+        up_at_min: Some(60.0),
+    }])?;
+
+    println!("peak hour at λ = {lambda} req/min; server s2 down 30–60 min\n");
+    println!(
+        "{:>6}  {:<12}  {:>9}  {:>9}  {:>10}",
+        "degree", "policy", "rejected", "rate", "disrupted"
+    );
+
+    for degree in [1.0, 1.25, 1.5, 2.0] {
+        let slots = (degree * m as f64 / 8.0).ceil() as u64;
+        let planner = ClusterPlanner::builder()
+            .catalog(Catalog::paper_default(m)?)
+            .cluster(ClusterSpec::paper_default(slots))
+            .popularity(Popularity::zipf(m, 1.0)?)
+            .demand_requests(3_600.0)
+            .build()?;
+        let plan = planner.plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)?;
+
+        for (name, policy) in [
+            ("static-rr", AdmissionPolicy::StaticRoundRobin),
+            ("rr-failover", AdmissionPolicy::RoundRobinFailover),
+        ] {
+            // Same trace for every cell: seed fixed per degree.
+            let mut rng = ChaCha8Rng::seed_from_u64(2_030);
+            let trace = TraceGenerator::new(lambda, planner.popularity(), 90.0)?
+                .generate(&mut rng);
+            let config = SimConfig {
+                policy,
+                failures: outage.clone(),
+                ..SimConfig::default()
+            };
+            let sim = Simulation::new(planner.catalog(), planner.cluster(), &plan.layout, config)?;
+            let report = sim.run(&trace)?;
+            println!(
+                "{:>6.2}  {:<12}  {:>9}  {:>8.2}%  {:>10}",
+                degree,
+                name,
+                report.rejected,
+                report.rejection_rate * 100.0,
+                report.disrupted
+            );
+        }
+    }
+
+    println!(
+        "\nwith degree 1.0 every video on s2 is unreachable for 30 minutes \
+         regardless of policy;\nreplication plus failover turns a catalog \
+         outage into a modest capacity loss."
+    );
+    Ok(())
+}

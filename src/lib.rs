@@ -1,0 +1,11 @@
+//! Workspace root facade: re-exports for the examples and the cross-crate
+//! integration tests under `tests/`.
+
+pub use vod_anneal as anneal;
+pub use vod_core as core;
+pub use vod_experiments as experiments;
+pub use vod_model as model;
+pub use vod_placement as placement;
+pub use vod_replication as replication;
+pub use vod_sim as sim;
+pub use vod_workload as workload;

@@ -1,0 +1,237 @@
+//! Cross-crate integration: failure injection and adaptive re-replication
+//! (the availability and run-time-dynamics extensions of DESIGN.md).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vod_core::prelude::*;
+use vod_core::{AdaptiveConfig, AdaptiveRunner, ReplanStrategy};
+use vod_model::ServerId;
+use vod_sim::{FailurePlan, Outage};
+use vod_workload::drift::{RankRotation, Stationary};
+
+fn planner(m: usize, slots: u64) -> ClusterPlanner {
+    ClusterPlanner::builder()
+        .catalog(Catalog::paper_default(m).unwrap())
+        .cluster(ClusterSpec::paper_default(slots))
+        .popularity(Popularity::zipf(m, 1.0).unwrap())
+        .demand_requests(3_600.0)
+        .build()
+        .unwrap()
+}
+
+fn outage_at(server: u32, down: f64, up: Option<f64>) -> FailurePlan {
+    FailurePlan::new(vec![Outage {
+        server: ServerId(server),
+        down_at_min: down,
+        up_at_min: up,
+    }])
+    .unwrap()
+}
+
+#[test]
+fn failure_increases_rejections_and_counts_disruptions() {
+    let p = planner(80, 15);
+    let plan = p
+        .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(500);
+        TraceGenerator::new(30.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+
+    let run = |failures: FailurePlan| {
+        let config = SimConfig {
+            failures,
+            ..SimConfig::default()
+        };
+        Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+    };
+
+    let healthy = run(FailurePlan::none());
+    let failed = run(outage_at(0, 20.0, None));
+    assert_eq!(healthy.disrupted, 0);
+    assert!(failed.disrupted > 0, "streams on s0 must be killed");
+    assert!(
+        failed.rejected > healthy.rejected,
+        "losing 1/8 of capacity must cost admissions: {} vs {}",
+        failed.rejected,
+        healthy.rejected
+    );
+    assert!(failed.is_conservative());
+}
+
+#[test]
+fn recovery_limits_the_damage() {
+    let p = planner(80, 15);
+    let plan = p
+        .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(501);
+        TraceGenerator::new(30.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+    let run = |failures: FailurePlan| {
+        let config = SimConfig {
+            failures,
+            ..SimConfig::default()
+        };
+        Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+    };
+    let permanent = run(outage_at(0, 20.0, None));
+    let transient = run(outage_at(0, 20.0, Some(35.0)));
+    assert!(
+        transient.rejected <= permanent.rejected,
+        "a 15-minute outage cannot reject more than a permanent one: {} vs {}",
+        transient.rejected,
+        permanent.rejected
+    );
+}
+
+#[test]
+fn failover_policy_exploits_replicas_during_outage() {
+    let p = planner(80, 20); // degree 2; uniform replication => exactly 2 each
+    let plan = p
+        .plan(ReplicationAlgo::Uniform, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    assert!(plan.scheme.replicas().iter().all(|&r| r >= 2));
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(502);
+        TraceGenerator::new(20.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+    let run = |policy: AdmissionPolicy| {
+        let config = SimConfig {
+            policy,
+            failures: outage_at(3, 10.0, None),
+            ..SimConfig::default()
+        };
+        Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+    };
+    let strict = run(AdmissionPolicy::StaticRoundRobin);
+    let failover = run(AdmissionPolicy::RoundRobinFailover);
+    // At 50% load with full 2x replication, failover should absorb nearly
+    // everything the dead server would have served.
+    assert!(
+        failover.rejected < strict.rejected / 2,
+        "failover {} vs strict {}",
+        failover.rejected,
+        strict.rejected
+    );
+}
+
+#[test]
+fn multiple_staggered_outages_stay_conservative() {
+    let p = planner(60, 12);
+    let plan = p
+        .plan(ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    let failures = FailurePlan::new(vec![
+        Outage {
+            server: ServerId(1),
+            down_at_min: 10.0,
+            up_at_min: Some(25.0),
+        },
+        Outage {
+            server: ServerId(1),
+            down_at_min: 50.0,
+            up_at_min: Some(55.0),
+        },
+        Outage {
+            server: ServerId(4),
+            down_at_min: 30.0,
+            up_at_min: None,
+        },
+    ])
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(503);
+    let trace = TraceGenerator::new(40.0, p.popularity(), 90.0)
+        .unwrap()
+        .generate(&mut rng);
+    let config = SimConfig {
+        failures,
+        ..SimConfig::default()
+    };
+    let report = Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+    assert!(report.is_conservative());
+    assert!(report.disrupted > 0);
+}
+
+#[test]
+fn adaptive_runner_beats_static_under_sustained_drift() {
+    let m = 80;
+    let base = Popularity::zipf(m, 1.0).unwrap();
+    let drift = RankRotation::new(base.clone(), 8).unwrap();
+    let run = |strategy: ReplanStrategy| {
+        let runner = AdaptiveRunner::new(
+            Catalog::paper_default(m).unwrap(),
+            ClusterSpec::paper_default(14), // degree 1.4
+            base.p().to_vec(),
+            AdaptiveConfig {
+                replication: ReplicationAlgo::Adams,
+                placement: PlacementAlgo::SmallestLoadFirst,
+                replan_placement: Default::default(),
+                strategy,
+                lambda_per_min: 36.0,
+                horizon_min: 90.0,
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(504);
+        runner.run_days(&drift, 6, &mut rng).unwrap()
+    };
+    let sum = |days: &[vod_core::DayReport]| -> f64 {
+        days[1..].iter().map(|d| d.rejection_rate).sum()
+    };
+    let static_total = sum(&run(ReplanStrategy::Static));
+    let oracle_total = sum(&run(ReplanStrategy::Oracle));
+    assert!(
+        oracle_total < static_total,
+        "oracle {oracle_total} must beat static {static_total} under drift"
+    );
+}
+
+#[test]
+fn adaptive_runner_is_harmless_without_drift() {
+    // With a correct prior and no drift, re-planning cannot help — and
+    // its observed-counts estimate must stay close to the truth.
+    let m = 60;
+    let base = Popularity::zipf(m, 1.0).unwrap();
+    let drift = Stationary::new(base.clone());
+    let runner = AdaptiveRunner::new(
+        Catalog::paper_default(m).unwrap(),
+        ClusterSpec::paper_default(11),
+        base.p().to_vec(),
+        AdaptiveConfig {
+            replication: ReplicationAlgo::Adams,
+            placement: PlacementAlgo::SmallestLoadFirst,
+            replan_placement: Default::default(),
+            strategy: ReplanStrategy::Adaptive { smoothing: 0.5 },
+            lambda_per_min: 30.0,
+            horizon_min: 90.0,
+        },
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(505);
+    let days = runner.run_days(&drift, 4, &mut rng).unwrap();
+    for d in &days[1..] {
+        // Sampling noise only: the EWMA estimate stays near the truth.
+        assert!(d.estimate_tv < 0.15, "day {} tv {}", d.day, d.estimate_tv);
+    }
+}
