@@ -6,6 +6,7 @@
 
 use crate::schedule::CoolingSchedule;
 use rand::Rng;
+use vod_telemetry::Telemetry;
 
 /// A problem to minimize by simulated annealing.
 pub trait AnnealProblem {
@@ -75,6 +76,26 @@ pub fn anneal<P: AnnealProblem, R: Rng + ?Sized>(
     params: &AnnealParams,
     rng: &mut R,
 ) -> AnnealResult<P::State> {
+    anneal_with_telemetry(problem, initial, params, rng, &Telemetry::disabled())
+}
+
+/// [`anneal`], recording engine counters and timings into `telemetry`.
+/// With a disabled handle the instrumentation reduces to branches on
+/// `None` and this is identical to [`anneal`].
+///
+/// Instruments: counters `anneal.proposed`, `anneal.accepted`,
+/// `anneal.rejected`, `anneal.epochs` (temperature steps),
+/// `anneal.evaluations` (objective evaluations); span `anneal.run`
+/// (seconds); histogram `anneal.evals_per_sec` (one observation per
+/// run).
+pub fn anneal_with_telemetry<P: AnnealProblem, R: Rng + ?Sized>(
+    problem: &P,
+    initial: P::State,
+    params: &AnnealParams,
+    rng: &mut R,
+    telemetry: &Telemetry,
+) -> AnnealResult<P::State> {
+    let span = telemetry.span("anneal.run");
     let mut current = initial;
     let mut current_energy = problem.energy(&current);
     let mut best_state = current.clone();
@@ -103,6 +124,25 @@ pub fn anneal<P: AnnealProblem, R: Rng + ?Sized>(
             }
         }
         trajectory.push(best_energy);
+    }
+
+    if telemetry.is_enabled() {
+        let proposed = accepted + rejected;
+        // One evaluation for the initial state plus one per proposal.
+        let evaluations = proposed + 1;
+        telemetry.counter("anneal.proposed").add(proposed);
+        telemetry.counter("anneal.accepted").add(accepted);
+        telemetry.counter("anneal.rejected").add(rejected);
+        telemetry
+            .counter("anneal.epochs")
+            .add(u64::from(params.epochs));
+        telemetry.counter("anneal.evaluations").add(evaluations);
+        let elapsed = span.elapsed_secs();
+        if elapsed > 0.0 {
+            telemetry
+                .histogram("anneal.evals_per_sec")
+                .observe(evaluations as f64 / elapsed);
+        }
     }
 
     AnnealResult {
@@ -156,10 +196,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let result = anneal(&Quadratic, 1000, &AnnealParams::default(), &mut rng);
         assert_eq!(result.trajectory.len(), 100);
-        assert!(result
-            .trajectory
-            .windows(2)
-            .all(|w| w[1] <= w[0]));
+        assert!(result.trajectory.windows(2).all(|w| w[1] <= w[0]));
     }
 
     #[test]
@@ -169,6 +206,45 @@ mod tests {
             anneal(&Quadratic, -5, &AnnealParams::default(), &mut rng).best_state
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn telemetry_counters_match_result() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let telemetry = Telemetry::enabled();
+        let params = AnnealParams {
+            schedule: CoolingSchedule::default_geometric(100.0),
+            epochs: 20,
+            steps_per_epoch: 30,
+        };
+        let result = anneal_with_telemetry(&Quadratic, -50, &params, &mut rng, &telemetry);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("anneal.proposed"), 600);
+        assert_eq!(snap.counter("anneal.accepted"), result.accepted);
+        assert_eq!(snap.counter("anneal.rejected"), result.rejected);
+        assert_eq!(snap.counter("anneal.epochs"), 20);
+        assert_eq!(snap.counter("anneal.evaluations"), 601);
+        assert_eq!(snap.histogram("anneal.run").count, 1);
+        assert_eq!(snap.histogram("anneal.evals_per_sec").count, 1);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_search() {
+        let run = |telemetry: &Telemetry| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            anneal_with_telemetry(
+                &Quadratic,
+                -30,
+                &AnnealParams::default(),
+                &mut rng,
+                telemetry,
+            )
+        };
+        let plain = run(&Telemetry::disabled());
+        let instrumented = run(&Telemetry::enabled());
+        assert_eq!(plain.best_state, instrumented.best_state);
+        assert_eq!(plain.accepted, instrumented.accepted);
+        assert_eq!(plain.trajectory, instrumented.trajectory);
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod parallel;
 pub mod problem;
 pub mod schedule;
 
-pub use engine::{anneal, AnnealParams, AnnealProblem, AnnealResult};
+pub use engine::{anneal, anneal_with_telemetry, AnnealParams, AnnealProblem, AnnealResult};
 pub use multirate::{MultiRateProblem, MultiRateState, RatedReplica};
-pub use parallel::{anneal_parallel, ParallelParams};
+pub use parallel::{anneal_parallel, anneal_parallel_with_telemetry, ParallelParams};
 pub use problem::{ScalableProblem, ScalableState};
 pub use schedule::CoolingSchedule;

@@ -256,16 +256,12 @@ impl MultiRateProblem {
                         continue;
                     }
                     if r.rate.step_down(&self.ladder).is_some()
-                        && downgrade.is_none_or(|(dv, dk)| {
-                            r.rate < state.replicas[dv][dk].rate
-                        })
+                        && downgrade.is_none_or(|(dv, dk)| r.rate < state.replicas[dv][dk].rate)
                     {
                         downgrade = Some((v, k));
                     }
                     if reps.len() > 1
-                        && droppable.is_none_or(|(dv, dk)| {
-                            r.rate < state.replicas[dv][dk].rate
-                        })
+                        && droppable.is_none_or(|(dv, dk)| r.rate < state.replicas[dv][dk].rate)
                     {
                         droppable = Some((v, k));
                     }
@@ -451,9 +447,10 @@ mod tests {
         let mut found = false;
         for _ in 0..2_000 {
             s = p.neighbor(&s, &mut rng);
-            if s.replicas.iter().any(|reps| {
-                reps.len() > 1 && reps.iter().any(|r| r.rate != reps[0].rate)
-            }) {
+            if s.replicas
+                .iter()
+                .any(|reps| reps.len() > 1 && reps.iter().any(|r| r.rate != reps[0].rate))
+            {
                 found = true;
                 break;
             }

@@ -9,10 +9,11 @@
 //! seeds, the whole procedure is deterministic regardless of thread
 //! interleaving, because exchange happens only at round barriers.
 
-use crate::engine::{anneal, AnnealParams, AnnealProblem, AnnealResult};
+use crate::engine::{anneal_with_telemetry, AnnealParams, AnnealProblem, AnnealResult};
 use crate::schedule::CoolingSchedule;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use vod_telemetry::Telemetry;
 
 /// Parallel-run knobs.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +82,24 @@ where
     P: AnnealProblem + Sync,
     P::State: Send + Sync,
 {
+    anneal_parallel_with_telemetry(problem, initial, params, &Telemetry::disabled())
+}
+
+/// [`anneal_parallel`], with every chain recording its `anneal.*`
+/// engine instruments into `telemetry` (the handle is shared, so
+/// counters accumulate across chains and rounds), plus the coordinator's
+/// own `anneal.rounds` counter and `anneal.parallel_run` span.
+pub fn anneal_parallel_with_telemetry<P>(
+    problem: &P,
+    initial: P::State,
+    params: &ParallelParams,
+    telemetry: &Telemetry,
+) -> AnnealResult<P::State>
+where
+    P: AnnealProblem + Sync,
+    P::State: Send + Sync,
+{
+    let span = telemetry.span("anneal.parallel_run");
     let mut global_best = initial.clone();
     let mut global_energy = problem.energy(&global_best);
     let mut trajectory = Vec::with_capacity((params.rounds * params.epochs_per_round) as usize);
@@ -101,9 +120,16 @@ where
                 let seed = params
                     .seed
                     .wrapping_add((round as u64) * params.chains as u64 + chain as u64 + 1);
+                let chain_telemetry = telemetry.clone();
                 scope.spawn(move || {
                     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                    let result = anneal(problem, start, &round_params, &mut rng);
+                    let result = anneal_with_telemetry(
+                        problem,
+                        start,
+                        &round_params,
+                        &mut rng,
+                        &chain_telemetry,
+                    );
                     tx.send((chain, result)).expect("coordinator alive");
                 });
             }
@@ -132,6 +158,11 @@ where
             trajectory.push(running);
         }
     }
+
+    telemetry
+        .counter("anneal.rounds")
+        .add(u64::from(params.rounds));
+    drop(span);
 
     AnnealResult {
         best_state: global_best,
@@ -220,6 +251,27 @@ mod tests {
         assert_eq!(multi.accepted + multi.rejected, 16_000);
         // Elitist exchange: the result can never be worse than the start.
         assert!(multi.best_energy <= Bumpy.energy(&300));
+    }
+
+    #[test]
+    fn parallel_telemetry_accumulates_across_chains() {
+        let params = ParallelParams {
+            chains: 2,
+            epochs_per_round: 5,
+            rounds: 3,
+            steps_per_epoch: 40,
+            ..Default::default()
+        };
+        let telemetry = Telemetry::enabled();
+        let r = anneal_parallel_with_telemetry(&Bumpy, 200, &params, &telemetry);
+        let snap = telemetry.snapshot();
+        // 2 chains × 3 rounds × 5 epochs × 40 steps.
+        assert_eq!(snap.counter("anneal.proposed"), 1_200);
+        assert_eq!(snap.counter("anneal.proposed"), r.accepted + r.rejected);
+        assert_eq!(snap.counter("anneal.rounds"), 3);
+        // One engine span per chain per round.
+        assert_eq!(snap.histogram("anneal.run").count, 6);
+        assert_eq!(snap.histogram("anneal.parallel_run").count, 1);
     }
 
     #[test]

@@ -26,9 +26,7 @@
 use crate::engine::AnnealProblem;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use vod_model::{
-    load, BitRate, ClusterSpec, ModelError, ObjectiveWeights, Popularity, ServerId,
-};
+use vod_model::{load, BitRate, ClusterSpec, ModelError, ObjectiveWeights, Popularity, ServerId};
 
 /// Problem data (immutable across the search).
 #[derive(Debug, Clone)]
@@ -94,10 +92,9 @@ impl ScalableProblem {
         if !problem.is_feasible(&initial) {
             return Err(ModelError::InsufficientStorage {
                 required: problem.pop.len() as u64,
-                capacity: problem.cluster.total_replica_slots(
-                    problem.ladder[0],
-                    problem.duration_s,
-                ),
+                capacity: problem
+                    .cluster
+                    .total_replica_slots(problem.ladder[0], problem.duration_s),
             });
         }
         Ok(problem)
@@ -169,8 +166,7 @@ impl ScalableProblem {
             .enumerate()
             .filter(|(_, servers)| servers.contains(&ServerId(server as u32)))
             .map(|(v, servers)| {
-                self.pop.get(v) * self.demand / servers.len() as f64
-                    * state.rates[v].kbps() as f64
+                self.pop.get(v) * self.demand / servers.len() as f64 * state.rates[v].kbps() as f64
             })
             .sum();
         load <= spec.bandwidth_kbps as f64 + 1e-6
@@ -240,9 +236,7 @@ impl ScalableProblem {
                 .filter(|(_, servers)| servers.contains(&sid))
                 .map(|(v, _)| v)
                 .min_by(|&a, &b| {
-                    state.rates[a]
-                        .cmp(&state.rates[b])
-                        .then(b.cmp(&a)) // less popular (higher index) first
+                    state.rates[a].cmp(&state.rates[b]).then(b.cmp(&a)) // less popular (higher index) first
                 });
             let Some(v) = victim else {
                 return false; // nothing on the server yet it violates: impossible

@@ -28,8 +28,7 @@ fn bench_fig4(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, "deg1.4_l40"), &combo, |b, _| {
             b.iter(|| {
                 black_box(
-                    run_point(&setup, &point, 40.0, AdmissionPolicy::StaticRoundRobin, 1)
-                        .unwrap(),
+                    run_point(&setup, &point, 40.0, AdmissionPolicy::StaticRoundRobin, 1).unwrap(),
                 )
             })
         });
@@ -89,7 +88,13 @@ fn bench_fig123(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig123_illustrations");
     let pop5 = Popularity::from_weights(&[5.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
     group.bench_function("fig1_adams_trace", |b| {
-        b.iter(|| black_box(BoundedAdamsReplication.replicate_traced(&pop5, 3, 9).unwrap()))
+        b.iter(|| {
+            black_box(
+                BoundedAdamsReplication
+                    .replicate_traced(&pop5, 3, 9)
+                    .unwrap(),
+            )
+        })
     });
     let pop7 = Popularity::zipf(7, 0.75).unwrap();
     group.bench_function("fig2_interval_search", |b| {

@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vod_model::Popularity;
 use vod_replication::{
-    BoundedAdamsReplication, ClassificationReplication, ReplicationPolicy,
-    ZipfIntervalReplication,
+    BoundedAdamsReplication, ClassificationReplication, ReplicationPolicy, ZipfIntervalReplication,
 };
 
 fn bench_replication(c: &mut Criterion) {

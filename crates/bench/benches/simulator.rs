@@ -26,8 +26,7 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(15);
     let (planner, plan) = world(200, 30);
     for lambda in [40.0f64, 400.0] {
-        let generator =
-            TraceGenerator::new(lambda, planner.popularity(), 90.0).unwrap();
+        let generator = TraceGenerator::new(lambda, planner.popularity(), 90.0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let trace = generator.generate(&mut rng);
         let sim = Simulation::new(
@@ -42,6 +41,22 @@ fn bench_simulator(c: &mut Criterion) {
             BenchmarkId::new("replay", format!("lambda{lambda}")),
             &lambda,
             |b, _| b.iter(|| black_box(sim.run(black_box(&trace)).unwrap())),
+        );
+        // Same replay with live instruments: the gap to `replay` above is
+        // the full recording cost; `replay` itself runs the no-op
+        // recorder path, so it doubles as the zero-overhead check.
+        let telemetry = vod_telemetry::Telemetry::enabled();
+        group.bench_with_input(
+            BenchmarkId::new("replay_telemetry", format!("lambda{lambda}")),
+            &lambda,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        sim.run_with_telemetry(black_box(&trace), &telemetry)
+                            .unwrap(),
+                    )
+                })
+            },
         );
     }
     group.finish();

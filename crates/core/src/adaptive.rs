@@ -204,11 +204,10 @@ impl AdaptiveRunner {
             .iter()
             .map(|s| s.replica_slots(video0.bitrate, video0.duration_s))
             .collect();
-        let scheme = self.config.replication.replicate(
-            &pop,
-            self.cluster.len(),
-            capacities.iter().sum(),
-        )?;
+        let scheme =
+            self.config
+                .replication
+                .replicate(&pop, self.cluster.len(), capacities.iter().sum())?;
         let rank_weights = scheme.weights(&pop, self.demand_requests)?;
         let input = PlacementInput {
             scheme: &scheme,
@@ -515,16 +514,8 @@ mod tests {
     #[test]
     fn migration_cost_counts_new_servers_only() {
         use vod_model::VideoId;
-        let old = Layout::new(
-            3,
-            vec![vec![ServerId(0), ServerId(1)], vec![ServerId(2)]],
-        )
-        .unwrap();
-        let new = Layout::new(
-            3,
-            vec![vec![ServerId(0), ServerId(2)], vec![ServerId(2)]],
-        )
-        .unwrap();
+        let old = Layout::new(3, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(2)]]).unwrap();
+        let new = Layout::new(3, vec![vec![ServerId(0), ServerId(2)], vec![ServerId(2)]]).unwrap();
         // v0 gains s2 (s0 kept, s1 dropped — drops are free); v1 unchanged.
         assert_eq!(AdaptiveRunner::migration_cost(&old, &new), 1);
         assert_eq!(AdaptiveRunner::migration_cost(&old, &old), 0);

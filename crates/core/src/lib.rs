@@ -38,4 +38,4 @@ pub mod planner;
 pub mod prelude;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DayReport, ReplanPlacement, ReplanStrategy};
-pub use planner::{ClusterPlanner, Plan, PlacementAlgo, ReplicationAlgo};
+pub use planner::{ClusterPlanner, PlacementAlgo, Plan, ReplicationAlgo};

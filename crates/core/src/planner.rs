@@ -6,9 +6,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use vod_model::{
-    load, Catalog, ClusterSpec, Layout, ModelError, Popularity, ReplicationScheme,
-};
+use vod_model::{load, Catalog, ClusterSpec, Layout, ModelError, Popularity, ReplicationScheme};
 use vod_placement::traits::PlacementInput;
 use vod_placement::{PlacementPolicy, RoundRobinPlacement, SmallestLoadFirstPlacement};
 use vod_replication::{

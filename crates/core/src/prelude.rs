@@ -1,6 +1,6 @@
 //! One-stop imports for facade users.
 
-pub use crate::planner::{ClusterPlanner, Plan, PlacementAlgo, ReplicationAlgo};
+pub use crate::planner::{ClusterPlanner, PlacementAlgo, Plan, ReplicationAlgo};
 pub use vod_model::{
     BitRate, Catalog, ClusterSpec, ImbalanceMetric, Layout, ModelError, ObjectiveWeights,
     Popularity, ReplicationScheme, ServerId, ServerSpec, Video, VideoId,

@@ -9,7 +9,7 @@
 
 use crate::config::PaperSetup;
 use crate::report::{pct, Reporter, Table};
-use crate::runner::{build_plan, run_point, Combo};
+use crate::runner::{build_plan, run_point_with_telemetry, Combo};
 use vod_sim::AdmissionPolicy;
 
 /// The policies compared.
@@ -48,7 +48,14 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
         let mut cells = vec![format!("{lambda:.0}")];
         let mut redirected_share = 0.0;
         for (k, (name, policy)) in policies().into_iter().enumerate() {
-            let stats = run_point(setup, &point, lambda, policy, 0xAB ^ ((k as u64) << 8))?;
+            let stats = run_point_with_telemetry(
+                setup,
+                &point,
+                lambda,
+                policy,
+                0xAB ^ ((k as u64) << 8),
+                reporter.telemetry(),
+            )?;
             cells.push(pct(stats.rejection_rate));
             if name.starts_with("backbone") {
                 redirected_share = stats.redirected_share;
@@ -66,6 +73,7 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_point;
 
     #[test]
     fn dynamic_policies_never_reject_more() {
@@ -76,14 +84,8 @@ mod tests {
         };
         let point = build_plan(&setup, Combo::ZIPF_SLF, 1.0, 1.2).unwrap();
         let lambda = 44.0; // just past capacity: policies differentiate
-        let strict = run_point(
-            &setup,
-            &point,
-            lambda,
-            AdmissionPolicy::StaticRoundRobin,
-            3,
-        )
-        .unwrap();
+        let strict =
+            run_point(&setup, &point, lambda, AdmissionPolicy::StaticRoundRobin, 3).unwrap();
         let failover = run_point(
             &setup,
             &point,

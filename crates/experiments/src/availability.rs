@@ -10,11 +10,11 @@
 
 use crate::config::PaperSetup;
 use crate::report::{pct, Reporter, Table};
-use crate::runner::{aggregate, build_plan, Combo, PointStats};
+use crate::runner::{aggregate, build_plan, Combo, PlannedPoint, PointStats};
 use serde::Serialize;
-use vod_core::ClusterPlanner;
 use vod_model::{ModelError, ServerId};
 use vod_sim::{AdmissionPolicy, FailurePlan, Outage, SimConfig, Simulation};
+use vod_telemetry::Telemetry;
 use vod_workload::TraceGenerator;
 
 /// One measured cell of the availability sweep.
@@ -32,16 +32,17 @@ pub struct AvailabilityRow {
 
 fn run_with_failures(
     setup: &PaperSetup,
-    planner: &ClusterPlanner,
-    layout: &vod_model::Layout,
+    point: &PlannedPoint,
     lambda: f64,
     policy: AdmissionPolicy,
     failures: FailurePlan,
     base_seed: u64,
+    telemetry: &Telemetry,
 ) -> Result<(PointStats, f64), ModelError> {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
+    let planner = point.planner();
     let generator = TraceGenerator::new(lambda, planner.popularity(), setup.horizon_min)?;
     let config = SimConfig {
         policy,
@@ -49,14 +50,18 @@ fn run_with_failures(
         failures,
         ..SimConfig::default()
     };
-    let sim = Simulation::new(planner.catalog(), planner.cluster(), layout, config)?;
+    let sim = Simulation::new(
+        planner.catalog(),
+        planner.cluster(),
+        &point.plan.layout,
+        config,
+    )?;
     let mut reports = Vec::with_capacity(setup.runs as usize);
     for run in 0..setup.runs {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let trace = generator.generate(&mut rng);
-        reports.push(sim.run(&trace)?);
+        reports.push(sim.run_with_telemetry(&trace, telemetry)?);
     }
     let disrupted_mean =
         reports.iter().map(|r| r.disrupted as f64).sum::<f64>() / reports.len() as f64;
@@ -65,6 +70,15 @@ fn run_with_failures(
 
 /// Computes the sweep: degree × policy, one server down at minute 30.
 pub fn compute(setup: &PaperSetup) -> Result<Vec<AvailabilityRow>, Box<dyn std::error::Error>> {
+    compute_with_telemetry(setup, &Telemetry::disabled())
+}
+
+/// [`compute`], recording every run's `sim.*` instruments into
+/// `telemetry`.
+pub fn compute_with_telemetry(
+    setup: &PaperSetup,
+    telemetry: &Telemetry,
+) -> Result<Vec<AvailabilityRow>, Box<dyn std::error::Error>> {
     let lambda = 0.75 * setup.capacity_lambda_per_min();
     let failures = FailurePlan::new(vec![Outage {
         server: ServerId(0),
@@ -81,12 +95,12 @@ pub fn compute(setup: &PaperSetup) -> Result<Vec<AvailabilityRow>, Box<dyn std::
         for (name, policy) in policies {
             let (stats, disrupted_mean) = run_with_failures(
                 setup,
-                point.planner(),
-                &point.plan.layout,
+                &point,
                 lambda,
                 policy,
                 failures.clone(),
                 0xFA11 ^ degree.to_bits(),
+                telemetry,
             )?;
             rows.push(AvailabilityRow {
                 degree,
@@ -101,7 +115,7 @@ pub fn compute(setup: &PaperSetup) -> Result<Vec<AvailabilityRow>, Box<dyn std::
 
 /// Regenerates the A-2 table.
 pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
-    let rows = compute(setup)?;
+    let rows = compute_with_telemetry(setup, reporter.telemetry())?;
     let mut table = Table::new(
         "A-2: rejection under a server failure at minute 30 \
          (zipf+slf plan, λ = 75% of capacity, θ = 1.0)",

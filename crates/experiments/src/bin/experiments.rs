@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--fast] [--runs N] [--out DIR] [--no-files]
+//!                       [--metrics FILE] [--check FILE]
 //!
 //! commands:
 //!   all       every regenerator below, in order
@@ -19,12 +20,26 @@
 //!   drift     dynamic re-replication under popularity drift (A-3)
 //!   sa2       multi-rate replica extension, objective ablation (SA-2)
 //!   striping  striping-vs-replication architectural comparison (A-4)
+//!   perf-smoke  pinned-size throughput measurement (N = 8, M = 200,
+//!               fixed seed); prints one machine-readable PERF_SMOKE line
+//!
+//! flags:
+//!   --metrics FILE  append one JSONL run-manifest record per experiment
+//!   --check FILE    perf-smoke only: fail if events/sec drops more than
+//!                   30% below the baseline recorded in FILE
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 use vod_experiments::report::Reporter;
-use vod_experiments::{ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, sa, sa_multirate, striping};
+use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
+use vod_experiments::{
+    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, sa,
+    sa_multirate, striping,
+};
+use vod_sim::AdmissionPolicy;
+use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
 
 struct Args {
     command: String,
@@ -32,6 +47,8 @@ struct Args {
     runs: Option<u32>,
     out: Option<String>,
     no_files: bool,
+    metrics: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         runs: None,
         out: None,
         no_files: false,
+        metrics: None,
+        check: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -54,6 +73,12 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 args.out = Some(iter.next().ok_or("--out needs a value")?);
             }
+            "--metrics" => {
+                args.metrics = Some(iter.next().ok_or("--metrics needs a value")?);
+            }
+            "--check" => {
+                args.check = Some(iter.next().ok_or("--check needs a value")?);
+            }
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
             }
@@ -66,13 +91,161 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+type ExpFn = fn(&PaperSetup, &Reporter) -> Result<(), Box<dyn std::error::Error>>;
+
+/// Every regenerator, in `all` order, with the base seed its internal
+/// RNG streams derive from (0 for deterministic planning-only
+/// experiments) — recorded in the run manifest.
+const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
+    ("fig1", 0, |_, r| fig1::run(r)),
+    ("fig2", 0, |_, r| fig2::run(r)),
+    ("fig3", 0, |_, r| fig3::run(r)),
+    ("fig4", 0xF164, fig4::run),
+    ("fig5", 0xF165, fig5::run),
+    ("fig6", 0xF166, fig6::run),
+    ("quality", 0, |_, r| quality::run(r)),
+    ("bound", 0, bound::run),
+    ("sa", 0x5A, sa::run),
+    ("ablation", 0xAB, ablation::run),
+    ("availability", 0xFA11, availability::run),
+    ("drift", 0xD21F7, drift::run),
+    ("sa2", 0x5A21, sa_multirate::run),
+    ("striping", 0xA4, striping::run),
+];
+
+/// Builds the manifest record for one finished experiment: pinned
+/// parameters, the full counter snapshot (span histograms become phase
+/// timings), and the derived event/request/evaluation rates.
+fn manifest_record(
+    name: &str,
+    seed: u64,
+    setup: &PaperSetup,
+    telemetry: &Telemetry,
+    wall_secs: f64,
+) -> RunRecord {
+    let snapshot = telemetry.snapshot();
+    let mut record = RunRecord::new(name, seed)
+        .param("n_servers", setup.n_servers as f64)
+        .param("n_videos", setup.n_videos as f64)
+        .param("runs", f64::from(setup.runs))
+        .param("horizon_min", setup.horizon_min)
+        .wall(wall_secs)
+        .with_snapshot(&snapshot);
+    if wall_secs > 0.0 {
+        let events = snapshot.counter("sim.events");
+        if events > 0 {
+            record = record.rate("events_per_sec", events as f64 / wall_secs);
+        }
+        let arrivals = snapshot.counter("sim.arrivals");
+        if arrivals > 0 {
+            record = record.rate("requests_per_sec", arrivals as f64 / wall_secs);
+        }
+        let evaluations = snapshot.counter("anneal.evaluations");
+        if evaluations > 0 {
+            record = record.rate("evaluations_per_sec", evaluations as f64 / wall_secs);
+        }
+    }
+    record
+}
+
+/// Runs the pinned-size throughput measurement: the paper's cluster
+/// (N = 8, M = 200), zipf+slf plan at degree 1.2, near-capacity load,
+/// fixed seed. Prints one machine-readable `PERF_SMOKE` line; with
+/// `--check`, compares against a JSON baseline (`{"events_per_sec": X}`)
+/// and fails when throughput lands more than 30% below it.
+fn perf_smoke(
+    metrics: Option<&str>,
+    check: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let setup = PaperSetup {
+        runs: 8,
+        ..PaperSetup::default()
+    };
+    let seed = 0x5EED_CAFE;
+    let lambda = 0.9 * setup.capacity_lambda_per_min();
+    let telemetry = Telemetry::enabled();
+
+    let started = Instant::now();
+    let point = build_plan(&setup, Combo::ZIPF_SLF, 1.0, 1.2)?;
+    let plan_secs = started.elapsed().as_secs_f64();
+
+    // One batch of replications finishes in milliseconds; repeat the
+    // identical batch until enough wall time accumulates for a stable
+    // events/sec estimate (the timing gate CI compares against).
+    let sim_started = Instant::now();
+    let mut reports = Vec::new();
+    let mut iterations = 0u32;
+    while iterations < 3 || sim_started.elapsed().as_secs_f64() < 0.5 {
+        reports = run_replications_with_telemetry(
+            &setup,
+            &point,
+            lambda,
+            AdmissionPolicy::StaticRoundRobin,
+            seed,
+            &telemetry,
+        )?;
+        iterations += 1;
+    }
+    let sim_secs = sim_started.elapsed().as_secs_f64();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let snapshot = telemetry.snapshot();
+    let events = snapshot.counter("sim.events");
+    let arrivals = snapshot.counter("sim.arrivals");
+    let events_per_sec = events as f64 / sim_secs;
+    let requests_per_sec = arrivals as f64 / sim_secs;
+    let rejection_rate =
+        reports.iter().map(|r| r.rejection_rate).sum::<f64>() / reports.len().max(1) as f64;
+
+    // The single line CI greps for; keep the key=value format stable.
+    println!(
+        "PERF_SMOKE n_servers={} n_videos={} runs={} iterations={iterations} seed={seed} \
+         events={events} arrivals={arrivals} events_per_sec={events_per_sec:.0} \
+         requests_per_sec={requests_per_sec:.0} rejection_rate={rejection_rate:.4} \
+         plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} wall_secs={wall_secs:.3}",
+        setup.n_servers, setup.n_videos, setup.runs,
+    );
+
+    if let Some(path) = metrics {
+        let record = manifest_record("perf_smoke", seed, &setup, &telemetry, wall_secs)
+            .param("lambda_per_min", lambda)
+            .phase("plan", plan_secs)
+            .phase("simulate", sim_secs);
+        ManifestWriter::append_to(path)?.write(&record)?;
+    }
+
+    if let Some(path) = check {
+        #[derive(serde::Deserialize)]
+        struct Baseline {
+            events_per_sec: f64,
+        }
+        let baseline: Baseline = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        let floor = baseline.events_per_sec;
+        let threshold = 0.7 * floor;
+        if events_per_sec < threshold {
+            return Err(format!(
+                "perf smoke regression: {events_per_sec:.0} events/sec is more than 30% \
+                 below the baseline {floor:.0} (threshold {threshold:.0})"
+            )
+            .into());
+        }
+        eprintln!(
+            "perf smoke ok: {events_per_sec:.0} events/sec >= threshold {threshold:.0} \
+             (baseline {floor:.0})"
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|striping> \
-                       [--fast] [--runs N] [--out DIR] [--no-files]");
+            eprintln!(
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|striping|perf-smoke> \
+                 [--fast] [--runs N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -86,7 +259,7 @@ fn main() -> ExitCode {
         setup.runs = runs;
     }
 
-    let reporter = if args.no_files {
+    let base_reporter = if args.no_files {
         Reporter::stdout_only()
     } else {
         let dir = args.out.as_deref().unwrap_or("results");
@@ -99,40 +272,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let started = std::time::Instant::now();
+    let started = Instant::now();
     let result: Result<(), Box<dyn std::error::Error>> = (|| {
-        match args.command.as_str() {
-            "fig1" => fig1::run(&reporter)?,
-            "fig2" => fig2::run(&reporter)?,
-            "fig3" => fig3::run(&reporter)?,
-            "fig4" => fig4::run(&setup, &reporter)?,
-            "fig5" => fig5::run(&setup, &reporter)?,
-            "fig6" => fig6::run(&setup, &reporter)?,
-            "quality" => quality::run(&reporter)?,
-            "bound" => bound::run(&setup, &reporter)?,
-            "sa" => sa::run(&setup, &reporter)?,
-            "ablation" => ablation::run(&setup, &reporter)?,
-            "availability" => availability::run(&setup, &reporter)?,
-            "drift" => drift::run(&setup, &reporter)?,
-            "sa2" => sa_multirate::run(&setup, &reporter)?,
-            "striping" => striping::run(&setup, &reporter)?,
-            "all" => {
-                fig1::run(&reporter)?;
-                fig2::run(&reporter)?;
-                fig3::run(&reporter)?;
-                fig4::run(&setup, &reporter)?;
-                fig5::run(&setup, &reporter)?;
-                fig6::run(&setup, &reporter)?;
-                quality::run(&reporter)?;
-                bound::run(&setup, &reporter)?;
-                sa::run(&setup, &reporter)?;
-                ablation::run(&setup, &reporter)?;
-                availability::run(&setup, &reporter)?;
-                drift::run(&setup, &reporter)?;
-                sa_multirate::run(&setup, &reporter)?;
-                striping::run(&setup, &reporter)?;
+        if args.command == "perf-smoke" {
+            return perf_smoke(args.metrics.as_deref(), args.check.as_deref());
+        }
+        let selected: Vec<&(&str, u64, ExpFn)> = if args.command == "all" {
+            EXPERIMENTS.iter().collect()
+        } else {
+            let one = EXPERIMENTS
+                .iter()
+                .find(|(name, _, _)| *name == args.command)
+                .ok_or_else(|| format!("unknown command: {}", args.command))?;
+            vec![one]
+        };
+        let mut writer = match &args.metrics {
+            Some(path) => Some(ManifestWriter::append_to(path)?),
+            None => None,
+        };
+        for (name, seed, run) in selected {
+            // Fresh telemetry per experiment so each manifest record
+            // holds that experiment's counters alone.
+            let telemetry = if writer.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
+            let reporter = base_reporter.clone().with_telemetry(telemetry.clone());
+            let exp_started = Instant::now();
+            run(&setup, &reporter)?;
+            let wall_secs = exp_started.elapsed().as_secs_f64();
+            if let Some(writer) = &mut writer {
+                writer.write(&manifest_record(name, *seed, &setup, &telemetry, wall_secs))?;
             }
-            other => return Err(format!("unknown command: {other}").into()),
         }
         Ok(())
     })();

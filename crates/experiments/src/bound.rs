@@ -55,7 +55,13 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
     let rows = compute(setup)?;
     let mut table = Table::new(
         "C-2: Theorem 4.2 bound vs measured static imbalance (Adams + SLF)",
-        &["theta", "degree", "bound (req)", "measured (req)", "tightness"],
+        &[
+            "theta",
+            "degree",
+            "bound (req)",
+            "measured (req)",
+            "tightness",
+        ],
     );
     for r in &rows {
         table.row(vec![

@@ -110,7 +110,9 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
             pct(outcome.oracle_days[d].rejection_rate),
             outcome.adaptive_days[d].migrated_replicas.to_string(),
             outcome.adaptive_incr_days[d].migrated_replicas.to_string(),
-            outcome.adaptive_hybrid_days[d].migrated_replicas.to_string(),
+            outcome.adaptive_hybrid_days[d]
+                .migrated_replicas
+                .to_string(),
         ]);
     }
     reporter.emit_table("drift", &table)?;

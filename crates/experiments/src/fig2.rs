@@ -28,7 +28,11 @@ pub fn run(reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
             assignment.u
         )
         .as_str(),
-        &["interval (from top)", "lower boundary z_k", "replicas in interval"],
+        &[
+            "interval (from top)",
+            "lower boundary z_k",
+            "replicas in interval",
+        ],
     );
     for (k, &z) in assignment.boundaries.iter().enumerate() {
         bounds.row(vec![
@@ -37,11 +41,7 @@ pub fn run(reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
             format!("{}", n_servers - k),
         ]);
     }
-    bounds.row(vec![
-        format!("{n_servers}"),
-        f3(0.0),
-        "1".to_string(),
-    ]);
+    bounds.row(vec![format!("{n_servers}"), f3(0.0), "1".to_string()]);
     reporter.emit_table("fig2_boundaries", &bounds)?;
 
     let scheme = algo.replicate(&pop, n_servers, budget)?;

@@ -30,7 +30,14 @@ pub fn run(reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "Figure 3: smallest-load-first placement (12 replicas on 4 servers)",
-        &["round", "replica", "weight", "server", "load before", "conflict skip"],
+        &[
+            "round",
+            "replica",
+            "weight",
+            "server",
+            "load before",
+            "conflict skip",
+        ],
     );
     for s in &steps {
         table.row(vec![
@@ -49,12 +56,7 @@ pub fn run(reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
         "Figure 3 (final loads)",
         &["server", "replicas", "expected load"],
     );
-    for (j, (&count, &l)) in layout
-        .replicas_per_server()
-        .iter()
-        .zip(&loads)
-        .enumerate()
-    {
+    for (j, (&count, &l)) in layout.replicas_per_server().iter().zip(&loads).enumerate() {
         summary.row(vec![format!("s{j}"), count.to_string(), f3(l)]);
     }
     reporter.emit_table("fig3_loads", &summary)?;

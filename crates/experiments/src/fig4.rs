@@ -13,7 +13,7 @@
 
 use crate::config::PaperSetup;
 use crate::report::{pct, Reporter, Table};
-use crate::runner::{build_plan, run_point, Combo};
+use crate::runner::{build_plan, run_point_with_telemetry, Combo};
 use vod_sim::AdmissionPolicy;
 
 /// Regenerates the four Figure 4 subplots.
@@ -49,12 +49,13 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
         for lambda in setup.lambda_sweep() {
             let mut cells = vec![format!("{lambda:.0}")];
             for (k, point) in points.iter().enumerate() {
-                let stats = run_point(
+                let stats = run_point_with_telemetry(
                     setup,
                     point,
                     lambda,
                     AdmissionPolicy::StaticRoundRobin,
                     0xF164 ^ ((k as u64) << 8),
+                    reporter.telemetry(),
                 )?;
                 cells.push(pct(stats.rejection_rate));
                 json_rows.push((degrees[k], stats));
@@ -70,6 +71,7 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_point;
 
     #[test]
     fn fast_subplot_runs() {

@@ -12,7 +12,7 @@
 
 use crate::config::PaperSetup;
 use crate::report::{pct, Reporter, Table};
-use crate::runner::{build_plan, run_point, Combo};
+use crate::runner::{build_plan, run_point_with_telemetry, Combo};
 use vod_sim::AdmissionPolicy;
 
 /// Regenerates the four Figure 5 subplots.
@@ -45,12 +45,13 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
         for lambda in setup.lambda_sweep() {
             let mut cells = vec![format!("{lambda:.0}")];
             for (k, point) in points.iter().enumerate() {
-                let stats = run_point(
+                let stats = run_point_with_telemetry(
                     setup,
                     point,
                     lambda,
                     AdmissionPolicy::StaticRoundRobin,
                     0xF165 ^ ((k as u64) << 8),
+                    reporter.telemetry(),
                 )?;
                 cells.push(pct(stats.rejection_rate));
                 json_rows.push((Combo::FIGURE_5[k].label(), stats));

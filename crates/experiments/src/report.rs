@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use vod_telemetry::Telemetry;
 
 /// A simple aligned-column table.
 #[derive(Debug, Clone, Default)]
@@ -82,16 +83,20 @@ impl Table {
     }
 }
 
-/// Where experiment artifacts land.
+/// Where experiment artifacts land, and the run's telemetry handle.
 #[derive(Debug, Clone)]
 pub struct Reporter {
     out_dir: Option<PathBuf>,
+    telemetry: Telemetry,
 }
 
 impl Reporter {
     /// Print-only reporter.
     pub fn stdout_only() -> Self {
-        Reporter { out_dir: None }
+        Reporter {
+            out_dir: None,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Reporter that also writes `results/<name>.csv` / `.json`.
@@ -99,7 +104,21 @@ impl Reporter {
         fs::create_dir_all(dir.as_ref())?;
         Ok(Reporter {
             out_dir: Some(dir.as_ref().to_path_buf()),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle; experiments route their engine
+    /// instruments (`sim.*`, `anneal.*`) through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Reporter::with_telemetry`] was used).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Prints the table and persists it as `<name>.csv`.

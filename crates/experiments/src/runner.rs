@@ -10,9 +10,10 @@ use crate::config::PaperSetup;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use vod_core::{ClusterPlanner, Plan, PlacementAlgo, ReplicationAlgo};
+use vod_core::{ClusterPlanner, PlacementAlgo, Plan, ReplicationAlgo};
 use vod_model::ModelError;
 use vod_sim::{AdmissionPolicy, SimConfig, SimReport, Simulation};
+use vod_telemetry::Telemetry;
 use vod_workload::{stats, TraceGenerator};
 
 /// A replication × placement algorithm pairing.
@@ -125,7 +126,35 @@ pub fn run_point(
     policy: AdmissionPolicy,
     base_seed: u64,
 ) -> Result<PointStats, ModelError> {
-    let reports = run_replications(setup, point, lambda_per_min, policy, base_seed)?;
+    run_point_with_telemetry(
+        setup,
+        point,
+        lambda_per_min,
+        policy,
+        base_seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_point`], with every replication recording its `sim.*` engine
+/// instruments into `telemetry` (shared across the worker threads, so
+/// counters accumulate over all runs of the point).
+pub fn run_point_with_telemetry(
+    setup: &PaperSetup,
+    point: &PlannedPoint,
+    lambda_per_min: f64,
+    policy: AdmissionPolicy,
+    base_seed: u64,
+    telemetry: &Telemetry,
+) -> Result<PointStats, ModelError> {
+    let reports = run_replications_with_telemetry(
+        setup,
+        point,
+        lambda_per_min,
+        policy,
+        base_seed,
+        telemetry,
+    )?;
     Ok(aggregate_with_capacity(
         lambda_per_min,
         &reports,
@@ -140,6 +169,25 @@ pub fn run_replications(
     lambda_per_min: f64,
     policy: AdmissionPolicy,
     base_seed: u64,
+) -> Result<Vec<SimReport>, ModelError> {
+    run_replications_with_telemetry(
+        setup,
+        point,
+        lambda_per_min,
+        policy,
+        base_seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_replications`], recording engine instruments into `telemetry`.
+pub fn run_replications_with_telemetry(
+    setup: &PaperSetup,
+    point: &PlannedPoint,
+    lambda_per_min: f64,
+    policy: AdmissionPolicy,
+    base_seed: u64,
+    telemetry: &Telemetry,
 ) -> Result<Vec<SimReport>, ModelError> {
     let generator = TraceGenerator::new(
         lambda_per_min,
@@ -171,6 +219,7 @@ pub fn run_replications(
             let tx = tx.clone();
             let sim = &sim;
             let generator = &generator;
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
                 let mut run = worker as u32;
                 while run < runs {
@@ -178,7 +227,8 @@ pub fn run_replications(
                         base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
                     let trace = generator.generate(&mut rng);
-                    tx.send((run, sim.run(&trace))).expect("receiver alive");
+                    tx.send((run, sim.run_with_telemetry(&trace, &telemetry)))
+                        .expect("receiver alive");
                     run += threads as u32;
                 }
             });
@@ -255,14 +305,7 @@ mod tests {
     fn plan_and_run_roundtrip() {
         let setup = tiny_setup();
         let point = build_plan(&setup, Combo::ZIPF_SLF, 1.0, 1.2).unwrap();
-        let stats = run_point(
-            &setup,
-            &point,
-            20.0,
-            AdmissionPolicy::StaticRoundRobin,
-            42,
-        )
-        .unwrap();
+        let stats = run_point(&setup, &point, 20.0, AdmissionPolicy::StaticRoundRobin, 42).unwrap();
         assert_eq!(stats.runs, 4);
         assert!(stats.rejection_rate >= 0.0 && stats.rejection_rate <= 1.0);
         assert!(stats.imbalance_cv_pct >= 0.0);

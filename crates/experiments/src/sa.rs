@@ -12,9 +12,12 @@ use crate::config::PaperSetup;
 use crate::report::{f3, Reporter, Table};
 use crate::runner::{build_plan, Combo};
 use serde::Serialize;
-use vod_anneal::{anneal_parallel, CoolingSchedule, ParallelParams, ScalableProblem};
+use vod_anneal::{
+    anneal_parallel_with_telemetry, CoolingSchedule, ParallelParams, ScalableProblem,
+};
 use vod_core::{PlacementAlgo, ReplicationAlgo};
 use vod_model::{load, BitRate, ObjectiveWeights, Popularity};
+use vod_telemetry::Telemetry;
 
 /// Summary of one SA experiment.
 #[derive(Debug, Clone, Serialize)]
@@ -37,6 +40,16 @@ pub struct SaSummary {
 
 /// Runs the SA experiment at a planning demand within cluster capacity.
 pub fn evaluate(setup: &PaperSetup, theta: f64) -> Result<SaSummary, Box<dyn std::error::Error>> {
+    evaluate_with_telemetry(setup, theta, &Telemetry::disabled())
+}
+
+/// [`evaluate`], recording the annealer's `anneal.*` instruments into
+/// `telemetry`.
+pub fn evaluate_with_telemetry(
+    setup: &PaperSetup,
+    theta: f64,
+    telemetry: &Telemetry,
+) -> Result<SaSummary, Box<dyn std::error::Error>> {
     let degree_for_storage = 1.4;
     let pop = Popularity::zipf(setup.n_videos, theta)?;
     let cluster = setup.cluster(degree_for_storage);
@@ -62,7 +75,7 @@ pub fn evaluate(setup: &PaperSetup, theta: f64) -> Result<SaSummary, Box<dyn std
     // the Eq. (1) averages by O(1/M)); a size-blind t0 turns the walk
     // into noise until the very last epochs.
     let t0 = 20.0 / setup.n_videos as f64;
-    let result = anneal_parallel(
+    let result = anneal_parallel_with_telemetry(
         &problem,
         initial,
         &ParallelParams {
@@ -77,6 +90,7 @@ pub fn evaluate(setup: &PaperSetup, theta: f64) -> Result<SaSummary, Box<dyn std
             },
             seed: 0x5A,
         },
+        telemetry,
     );
     let best = &result.best_state;
     let final_objective = problem.objective(best);
@@ -129,7 +143,7 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
     );
     let mut summaries = Vec::new();
     for theta in setup.thetas() {
-        let s = evaluate(setup, theta)?;
+        let s = evaluate_with_telemetry(setup, theta, reporter.telemetry())?;
         table.row(vec![
             format!("{theta:.2}"),
             f3(s.initial_objective),

@@ -21,9 +21,11 @@ use crate::config::PaperSetup;
 use crate::report::{f3, Reporter, Table};
 use serde::Serialize;
 use vod_anneal::{
-    anneal_parallel, CoolingSchedule, MultiRateProblem, ParallelParams, ScalableProblem,
+    anneal_parallel_with_telemetry, CoolingSchedule, MultiRateProblem, ParallelParams,
+    ScalableProblem,
 };
 use vod_model::{BitRate, ObjectiveWeights, Popularity};
+use vod_telemetry::Telemetry;
 
 /// Comparable summary of one formulation's annealed solution.
 #[derive(Debug, Clone, Serialize)]
@@ -63,6 +65,15 @@ fn anneal_params(seed: u64, m: usize) -> ParallelParams {
 
 /// Runs the three formulations.
 pub fn compute(setup: &PaperSetup) -> Result<Vec<FormulationSummary>, Box<dyn std::error::Error>> {
+    compute_with_telemetry(setup, &Telemetry::disabled())
+}
+
+/// [`compute`], recording the annealer's `anneal.*` instruments into
+/// `telemetry`.
+pub fn compute_with_telemetry(
+    setup: &PaperSetup,
+    telemetry: &Telemetry,
+) -> Result<Vec<FormulationSummary>, Box<dyn std::error::Error>> {
     let m = setup.n_videos;
     let pop = Popularity::zipf(m, 1.0)?;
     let cluster = setup.cluster(1.4);
@@ -82,7 +93,12 @@ pub fn compute(setup: &PaperSetup) -> Result<Vec<FormulationSummary>, Box<dyn st
             demand,
             weights,
         )?;
-        let result = anneal_parallel(&problem, problem.initial_state(), &anneal_params(0x5A21, m));
+        let result = anneal_parallel_with_telemetry(
+            &problem,
+            problem.initial_state(),
+            &anneal_params(0x5A21, m),
+            telemetry,
+        );
         let s = &result.best_state;
         let delivered: Vec<f64> = s.rates.iter().map(|r| r.mbps()).collect();
         out.push(FormulationSummary {
@@ -138,7 +154,12 @@ pub fn compute(setup: &PaperSetup) -> Result<Vec<FormulationSummary>, Box<dyn st
             weighted,
         )?;
         debug_assert!(problem.is_feasible(&warm_start));
-        let result = anneal_parallel(&problem, warm_start.clone(), &anneal_params(seed, m));
+        let result = anneal_parallel_with_telemetry(
+            &problem,
+            warm_start.clone(),
+            &anneal_params(seed, m),
+            telemetry,
+        );
         let s = &result.best_state;
         let delivered: Vec<f64> = (0..m).map(|v| s.delivered_mbps(v)).collect();
         out.push(FormulationSummary {
@@ -159,7 +180,7 @@ pub fn compute(setup: &PaperSetup) -> Result<Vec<FormulationSummary>, Box<dyn st
 
 /// Regenerates the SA-2 table.
 pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
-    let rows = compute(setup)?;
+    let rows = compute_with_telemetry(setup, reporter.telemetry())?;
     let mut table = Table::new(
         "SA-2: multi-rate replicas (future work) — delivered quality by formulation \
          (θ = 1.0, degree budget 1.4, demand 60% capacity)",

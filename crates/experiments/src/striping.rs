@@ -18,14 +18,13 @@
 
 use crate::config::PaperSetup;
 use crate::report::{pct, Reporter, Table};
-use crate::runner::{aggregate, build_plan, run_point, Combo};
+use crate::runner::{aggregate, build_plan, run_point_with_telemetry, Combo};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use vod_model::ServerId;
-use vod_sim::{
-    AdmissionPolicy, FailurePlan, Outage, SimReport, StripedConfig, StripedSimulation,
-};
+use vod_sim::{AdmissionPolicy, FailurePlan, Outage, SimReport, StripedConfig, StripedSimulation};
+use vod_telemetry::Telemetry;
 use vod_workload::TraceGenerator;
 
 /// One striped measurement cell.
@@ -47,6 +46,7 @@ fn run_striped(
     overhead: f64,
     failures: FailurePlan,
     base_seed: u64,
+    telemetry: &Telemetry,
 ) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let catalog = setup.catalog()?;
     // Same aggregate hardware as the replicated runs at degree 1.2.
@@ -62,13 +62,11 @@ fn run_striped(
     let generator = TraceGenerator::new(lambda, &pop, setup.horizon_min)?;
     let mut reports: Vec<SimReport> = Vec::with_capacity(setup.runs as usize);
     for run in 0..setup.runs {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        reports.push(sim.run(&generator.generate(&mut rng))?);
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        reports.push(sim.run_with_telemetry(&generator.generate(&mut rng), telemetry)?);
     }
-    let disrupted =
-        reports.iter().map(|r| r.disrupted as f64).sum::<f64>() / reports.len() as f64;
+    let disrupted = reports.iter().map(|r| r.disrupted as f64).sum::<f64>() / reports.len() as f64;
     Ok((aggregate(lambda, &reports).rejection_rate, disrupted))
 }
 
@@ -89,16 +87,24 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
     );
     let mut cells = Vec::new();
     for lambda in setup.lambda_sweep() {
-        let rep = run_point(
+        let rep = run_point_with_telemetry(
             setup,
             &replicated,
             lambda,
             AdmissionPolicy::StaticRoundRobin,
             0xA4,
+            reporter.telemetry(),
         )?;
         let mut row = vec![format!("{lambda:.0}"), pct(rep.rejection_rate)];
         for &ovh in &overheads {
-            let (rej, dis) = run_striped(setup, lambda, ovh, FailurePlan::none(), 0xA4)?;
+            let (rej, dis) = run_striped(
+                setup,
+                lambda,
+                ovh,
+                FailurePlan::none(),
+                0xA4,
+                reporter.telemetry(),
+            )?;
             row.push(pct(rej));
             cells.push(StripedCell {
                 lambda,
@@ -119,11 +125,18 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
         down_at_min: 30.0,
         up_at_min: Some(60.0),
     }])?;
-    let (striped_rej, striped_dis) =
-        run_striped(setup, lambda, 0.1, outage.clone(), 0xA5)?;
+    let (striped_rej, striped_dis) = run_striped(
+        setup,
+        lambda,
+        0.1,
+        outage.clone(),
+        0xA5,
+        reporter.telemetry(),
+    )?;
 
     // Replicated counterpart under the identical outage (failover).
-    let generator = TraceGenerator::new(lambda, replicated.planner().popularity(), setup.horizon_min)?;
+    let generator =
+        TraceGenerator::new(lambda, replicated.planner().popularity(), setup.horizon_min)?;
     let config = vod_sim::SimConfig {
         policy: AdmissionPolicy::RoundRobinFailover,
         failures: outage,
@@ -137,14 +150,14 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
     )?;
     let mut rep_reports = Vec::new();
     for run in 0..setup.runs {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            0xA5u64 ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        rep_reports.push(sim.run(&generator.generate(&mut rng))?);
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(0xA5u64 ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rep_reports
+            .push(sim.run_with_telemetry(&generator.generate(&mut rng), reporter.telemetry())?);
     }
     let rep_rej = aggregate(lambda, &rep_reports).rejection_rate;
-    let rep_dis = rep_reports.iter().map(|r| r.disrupted as f64).sum::<f64>()
-        / rep_reports.len() as f64;
+    let rep_dis =
+        rep_reports.iter().map(|r| r.disrupted as f64).sum::<f64>() / rep_reports.len() as f64;
 
     let mut fail_table = Table::new(
         "A-4: one server down 30–60 min (λ = 75% capacity)",
@@ -178,8 +191,24 @@ mod tests {
         // At the capacity rate, a 25%-overhead striped cluster rejects
         // far more than a 0%-overhead one.
         let lambda = setup.capacity_lambda_per_min();
-        let (r0, _) = run_striped(&setup, lambda, 0.0, FailurePlan::none(), 1).unwrap();
-        let (r25, _) = run_striped(&setup, lambda, 0.25, FailurePlan::none(), 1).unwrap();
+        let (r0, _) = run_striped(
+            &setup,
+            lambda,
+            0.0,
+            FailurePlan::none(),
+            1,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        let (r25, _) = run_striped(
+            &setup,
+            lambda,
+            0.25,
+            FailurePlan::none(),
+            1,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert!(r25 > r0 + 0.05, "25% ovh {r25} vs 0% {r0}");
 
         // Under an outage, the striped cluster loses service entirely
@@ -190,7 +219,15 @@ mod tests {
             up_at_min: Some(60.0),
         }])
         .unwrap();
-        let (rej, dis) = run_striped(&setup, 0.75 * lambda, 0.1, outage, 2).unwrap();
+        let (rej, dis) = run_striped(
+            &setup,
+            0.75 * lambda,
+            0.1,
+            outage,
+            2,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert!(rej > 0.25, "outage rejection {rej} should cover the window");
         assert!(dis > 0.0);
     }

@@ -87,12 +87,19 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::Empty => write!(f, "model requires at least one video"),
             ModelError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} videos, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} videos, got {actual}"
+                )
             }
             ModelError::InvalidPopularity { index, value } => {
                 write!(f, "invalid popularity p[{index}] = {value}")
             }
-            ModelError::ReplicaCountOutOfRange { video, count, servers } => write!(
+            ModelError::ReplicaCountOutOfRange {
+                video,
+                count,
+                servers,
+            } => write!(
                 f,
                 "constraint (7) violated: video {video} has {count} replicas, \
                  must be in 1..={servers}"
@@ -101,11 +108,19 @@ impl fmt::Display for ModelError {
                 f,
                 "constraint (6) violated: video {video} has multiple replicas on server {server}"
             ),
-            ModelError::StorageExceeded { server, required, capacity } => write!(
+            ModelError::StorageExceeded {
+                server,
+                required,
+                capacity,
+            } => write!(
                 f,
                 "constraint (4) violated: server {server} needs {required} B of {capacity} B"
             ),
-            ModelError::BandwidthExceeded { server, required, capacity } => write!(
+            ModelError::BandwidthExceeded {
+                server,
+                required,
+                capacity,
+            } => write!(
                 f,
                 "constraint (5) violated: server {server} expected load {required:.3} \
                  exceeds capacity {capacity:.3}"

@@ -213,11 +213,7 @@ mod tests {
 
     fn small_layout() -> Layout {
         // 3 videos on 3 servers: v0 on {s0,s1}, v1 on {s2}, v2 on {s0}.
-        Layout::new(
-            3,
-            vec![vec![sid(0), sid(1)], vec![sid(2)], vec![sid(0)]],
-        )
-        .unwrap()
+        Layout::new(3, vec![vec![sid(0), sid(1)], vec![sid(2)], vec![sid(0)]]).unwrap()
     }
 
     #[test]

@@ -33,10 +33,7 @@ pub fn mean(loads: &[f64]) -> f64 {
 /// cluster.
 pub fn max_deviation(loads: &[f64]) -> f64 {
     let l_bar = mean(loads);
-    loads
-        .iter()
-        .map(|&l| l - l_bar)
-        .fold(0.0f64, f64::max)
+    loads.iter().map(|&l| l - l_bar).fold(0.0f64, f64::max)
 }
 
 /// Population standard deviation of server loads,

@@ -152,7 +152,10 @@ mod tests {
             c.servers()[0].replica_slots(BitRate::MPEG2, TYPICAL_DURATION_S),
             30
         );
-        assert_eq!(c.total_replica_slots(BitRate::MPEG2, TYPICAL_DURATION_S), 240);
+        assert_eq!(
+            c.total_replica_slots(BitRate::MPEG2, TYPICAL_DURATION_S),
+            240
+        );
     }
 
     #[test]

@@ -78,11 +78,8 @@ mod tests {
 
     #[test]
     fn layout_summary_shape() {
-        let layout = Layout::new(
-            2,
-            vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]],
-        )
-        .unwrap();
+        let layout =
+            Layout::new(2, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]]).unwrap();
         let s = layout_summary(&layout, &[4.0, 2.0]);
         assert!(s.contains("2 videos over 2 servers"));
         assert!(s.contains("s0      2 replicas"));

@@ -114,9 +114,7 @@ impl Catalog {
     /// True if every video shares one bit rate — the precondition of the
     /// fixed-rate algorithms.
     pub fn is_fixed_rate(&self) -> bool {
-        self.videos
-            .windows(2)
-            .all(|w| w[0].bitrate == w[1].bitrate)
+        self.videos.windows(2).all(|w| w[0].bitrate == w[1].bitrate)
     }
 
     /// True if every video shares one duration (assumed throughout the

@@ -125,7 +125,11 @@ impl PlacementPolicy for IncrementalPlacement {
         // preferring to *drop* from the heaviest-loaded servers (free).
         // Process videos heaviest-first so keeps of hot titles win slots.
         let mut order: Vec<usize> = (0..input.scheme.len()).collect();
-        order.sort_by(|&a, &b| input.weights[b].total_cmp(&input.weights[a]).then(a.cmp(&b)));
+        order.sort_by(|&a, &b| {
+            input.weights[b]
+                .total_cmp(&input.weights[a])
+                .then(a.cmp(&b))
+        });
 
         // Pre-compute each server's prospective load if everything stayed,
         // to rank drop candidates.
@@ -194,12 +198,7 @@ mod tests {
     use crate::slf::SmallestLoadFirstPlacement;
     use vod_model::{Popularity, ReplicationScheme};
 
-    fn fresh_layout(
-        scheme: &ReplicationScheme,
-        weights: &[f64],
-        n: usize,
-        caps: &[u64],
-    ) -> Layout {
+    fn fresh_layout(scheme: &ReplicationScheme, weights: &[f64], n: usize, caps: &[u64]) -> Layout {
         SmallestLoadFirstPlacement
             .place(&PlacementInput {
                 scheme,
@@ -232,15 +231,13 @@ mod tests {
     #[test]
     fn small_scheme_change_small_migration() {
         let pop = Popularity::zipf(12, 1.0).unwrap();
-        let old_scheme =
-            ReplicationScheme::new(vec![3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let old_scheme = ReplicationScheme::new(vec![3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
         let weights_old = old_scheme.weights(&pop, 100.0).unwrap();
         let caps = vec![4u64; 4];
         let old = fresh_layout(&old_scheme, &weights_old, 4, &caps);
 
         // One replica moves from v0 to v3.
-        let new_scheme =
-            ReplicationScheme::new(vec![2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let new_scheme = ReplicationScheme::new(vec![2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
         let weights_new = new_scheme.weights(&pop, 100.0).unwrap();
         let incremental = IncrementalPlacement::from_previous(old.clone())
             .place(&PlacementInput {
@@ -251,10 +248,7 @@ mod tests {
             })
             .unwrap();
         // Exactly one new copy (v3's second replica); v0's drop is free.
-        assert_eq!(
-            IncrementalPlacement::migration_cost(&old, &incremental),
-            1
-        );
+        assert_eq!(IncrementalPlacement::migration_cost(&old, &incremental), 1);
         assert_eq!(incremental.scheme(), new_scheme);
 
         // A from-scratch SLF run typically moves much more.
@@ -299,16 +293,13 @@ mod tests {
         // keep the lightly-loaded s1 copy.
         let scheme2 = ReplicationScheme::new(vec![2, 1]).unwrap();
         let weights = [10.0, 5.0];
-        let old = Layout::new(2, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]])
-            .unwrap();
+        let old = Layout::new(2, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(0)]]).unwrap();
         // old loads: s0 = 10 + 5 = 15, s1 = 10 -> wait: v0 weight 10 on both.
         // s0 = 10 (v0) + 5 (v1) = 15; s1 = 10.
         let new_scheme = ReplicationScheme::new(vec![1, 1]).unwrap();
-        let new_weights = new_scheme.weights(
-            &Popularity::from_weights(&[10.0, 5.0]).unwrap(),
-            15.0,
-        )
-        .unwrap();
+        let new_weights = new_scheme
+            .weights(&Popularity::from_weights(&[10.0, 5.0]).unwrap(), 15.0)
+            .unwrap();
         let caps = vec![2u64; 2];
         let layout = IncrementalPlacement::from_previous(old)
             .place(&PlacementInput {
@@ -341,6 +332,9 @@ mod tests {
     #[test]
     fn name() {
         let old = Layout::new(1, vec![vec![ServerId(0)]]).unwrap();
-        assert_eq!(IncrementalPlacement::from_previous(old).name(), "incremental");
+        assert_eq!(
+            IncrementalPlacement::from_previous(old).name(),
+            "incremental"
+        );
     }
 }

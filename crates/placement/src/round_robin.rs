@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn deals_cyclically() {
         let layout = place(vec![2, 1, 1], vec![1.0, 1.0, 1.0], 4, 1).unwrap();
-        assert_eq!(layout.replicas_of(vod_model::VideoId(0)), &[ServerId(0), ServerId(1)]);
+        assert_eq!(
+            layout.replicas_of(vod_model::VideoId(0)),
+            &[ServerId(0), ServerId(1)]
+        );
         assert_eq!(layout.replicas_of(vod_model::VideoId(1)), &[ServerId(2)]);
         assert_eq!(layout.replicas_of(vod_model::VideoId(2)), &[ServerId(3)]);
     }

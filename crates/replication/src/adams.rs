@@ -178,14 +178,7 @@ pub fn brute_force_optimum(pop: &Popularity, n_servers: usize, total_slots: u64)
     if total_slots < m as u64 || total_slots > m as u64 * n as u64 {
         return None;
     }
-    recurse(
-        pop,
-        &mut counts,
-        0,
-        total_slots - m as u64,
-        n,
-        &mut best,
-    );
+    recurse(pop, &mut counts, 0, total_slots - m as u64, n, &mut best);
     best
 }
 

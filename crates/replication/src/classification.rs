@@ -131,7 +131,9 @@ mod tests {
         let pop = Popularity::zipf(200, 1.0).unwrap();
         let budget = 280;
         let adams = BoundedAdamsReplication.replicate(&pop, 8, budget).unwrap();
-        let class = ClassificationReplication.replicate(&pop, 8, budget).unwrap();
+        let class = ClassificationReplication
+            .replicate(&pop, 8, budget)
+            .unwrap();
         let wa = adams.max_weight(&pop, 1.0).unwrap();
         let wc = class.max_weight(&pop, 1.0).unwrap();
         assert!(wc >= wa - 1e-15, "baseline beats the proven optimum");

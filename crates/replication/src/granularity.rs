@@ -25,7 +25,10 @@ pub struct GranularityReport {
 }
 
 /// Computes the granularity summary of a scheme under a popularity vector.
-pub fn report(pop: &Popularity, scheme: &ReplicationScheme) -> Result<GranularityReport, ModelError> {
+pub fn report(
+    pop: &Popularity,
+    scheme: &ReplicationScheme,
+) -> Result<GranularityReport, ModelError> {
     let weights = scheme.weights(pop, 1.0)?;
     let max_weight = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min_weight = weights.iter().copied().fold(f64::INFINITY, f64::min);

@@ -64,6 +64,7 @@ pub struct Dispatcher {
     policy: AdmissionPolicy,
     rr_next: Vec<u32>,
     backbone_used_kbps: u64,
+    probes: u64,
 }
 
 impl Dispatcher {
@@ -73,6 +74,7 @@ impl Dispatcher {
             policy,
             rr_next: vec![0; n_videos],
             backbone_used_kbps: 0,
+            probes: 0,
         }
     }
 
@@ -85,6 +87,12 @@ impl Dispatcher {
     /// [`AdmissionPolicy::BackboneRedirect`]).
     pub fn backbone_used_kbps(&self) -> u64 {
         self.backbone_used_kbps
+    }
+
+    /// Total admission-scan iterations (`can_admit` checks) performed
+    /// over this dispatcher's lifetime — the policy's scan cost.
+    pub fn admission_probes(&self) -> u64 {
+        self.probes
     }
 
     /// Advances the video's round-robin pointer and returns the scheduled
@@ -113,6 +121,7 @@ impl Dispatcher {
             AdmissionPolicy::StaticRoundRobin => {
                 let pos = self.rr_advance(video, replicas.len());
                 let server = replicas[pos];
+                self.probes += 1;
                 if links.can_admit(server, kbps) {
                     Decision::Admit {
                         server,
@@ -126,6 +135,7 @@ impl Dispatcher {
                 let start = self.rr_advance(video, replicas.len());
                 for probe in 0..replicas.len() {
                     let server = replicas[(start + probe) % replicas.len()];
+                    self.probes += 1;
                     if links.can_admit(server, kbps) {
                         return Decision::Admit {
                             server,
@@ -136,6 +146,7 @@ impl Dispatcher {
                 Decision::Reject
             }
             AdmissionPolicy::LeastLoadedReplica => {
+                self.probes += replicas.len() as u64;
                 let best = replicas
                     .iter()
                     .copied()
@@ -154,6 +165,7 @@ impl Dispatcher {
             } => {
                 let pos = self.rr_advance(video, replicas.len());
                 let scheduled = replicas[pos];
+                self.probes += 1;
                 if links.can_admit(scheduled, kbps) {
                     return Decision::Admit {
                         server: scheduled,
@@ -163,6 +175,7 @@ impl Dispatcher {
                 // Redirect: any server with link headroom can proxy,
                 // fetching over the backbone; prefer the most free link.
                 if self.backbone_used_kbps + kbps <= backbone_capacity_kbps {
+                    self.probes += links.len() as u64;
                     let proxy = (0..links.len())
                         .map(|j| ServerId(j as u32))
                         .filter(|&s| links.can_admit(s, kbps))
@@ -194,14 +207,7 @@ mod tests {
 
     fn layout_2videos() -> Layout {
         // v0 on {s0, s1}; v1 on {s2}.
-        Layout::new(
-            3,
-            vec![
-                vec![ServerId(0), ServerId(1)],
-                vec![ServerId(2)],
-            ],
-        )
-        .unwrap()
+        Layout::new(3, vec![vec![ServerId(0), ServerId(1)], vec![ServerId(2)]]).unwrap()
     }
 
     fn links(kbps: u64) -> LinkState {
@@ -228,12 +234,26 @@ mod tests {
         assert_eq!(
             picks,
             vec![
-                Decision::Admit { server: ServerId(0), backbone_kbps: 0 },
-                Decision::Admit { server: ServerId(1), backbone_kbps: 0 },
-                Decision::Admit { server: ServerId(0), backbone_kbps: 0 },
-                Decision::Admit { server: ServerId(1), backbone_kbps: 0 },
+                Decision::Admit {
+                    server: ServerId(0),
+                    backbone_kbps: 0
+                },
+                Decision::Admit {
+                    server: ServerId(1),
+                    backbone_kbps: 0
+                },
+                Decision::Admit {
+                    server: ServerId(0),
+                    backbone_kbps: 0
+                },
+                Decision::Admit {
+                    server: ServerId(1),
+                    backbone_kbps: 0
+                },
             ]
         );
+        // Static RR scans exactly one server per dispatch.
+        assert_eq!(d.admission_probes(), 4);
     }
 
     #[test]
@@ -243,11 +263,17 @@ mod tests {
         links.admit(ServerId(0), 4_000); // s0 saturated
         let mut d = Dispatcher::new(AdmissionPolicy::StaticRoundRobin, 2);
         // First dispatch schedules s0 -> reject even though s1 is free.
-        assert_eq!(d.dispatch(VideoId(0), 4_000, &layout, &links), Decision::Reject);
+        assert_eq!(
+            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            Decision::Reject
+        );
         // Pointer advanced: next goes to s1 and succeeds.
         assert_eq!(
             d.dispatch(VideoId(0), 4_000, &layout, &links),
-            Decision::Admit { server: ServerId(1), backbone_kbps: 0 }
+            Decision::Admit {
+                server: ServerId(1),
+                backbone_kbps: 0
+            }
         );
     }
 
@@ -259,10 +285,18 @@ mod tests {
         let mut d = Dispatcher::new(AdmissionPolicy::RoundRobinFailover, 2);
         assert_eq!(
             d.dispatch(VideoId(0), 4_000, &layout, &links),
-            Decision::Admit { server: ServerId(1), backbone_kbps: 0 }
+            Decision::Admit {
+                server: ServerId(1),
+                backbone_kbps: 0
+            }
         );
         links.admit(ServerId(1), 4_000);
-        assert_eq!(d.dispatch(VideoId(0), 4_000, &layout, &links), Decision::Reject);
+        assert_eq!(
+            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            Decision::Reject
+        );
+        // First dispatch probed s0 (full) then s1; second probed both.
+        assert_eq!(d.admission_probes(), 4);
     }
 
     #[test]
@@ -273,7 +307,10 @@ mod tests {
         let mut d = Dispatcher::new(AdmissionPolicy::LeastLoadedReplica, 2);
         assert_eq!(
             d.dispatch(VideoId(0), 4_000, &layout, &links),
-            Decision::Admit { server: ServerId(1), backbone_kbps: 0 }
+            Decision::Admit {
+                server: ServerId(1),
+                backbone_kbps: 0
+            }
         );
     }
 
@@ -294,7 +331,10 @@ mod tests {
         // Proxy = most free link among all servers = s1.
         assert_eq!(
             decision,
-            Decision::Admit { server: ServerId(1), backbone_kbps: 4_000 }
+            Decision::Admit {
+                server: ServerId(1),
+                backbone_kbps: 4_000
+            }
         );
         assert_eq!(d.backbone_used_kbps(), 4_000);
         d.release_backbone(4_000);
@@ -312,7 +352,10 @@ mod tests {
             },
             2,
         );
-        assert_eq!(d.dispatch(VideoId(1), 4_000, &layout, &links), Decision::Reject);
+        assert_eq!(
+            d.dispatch(VideoId(1), 4_000, &layout, &links),
+            Decision::Reject
+        );
     }
 
     #[test]
@@ -328,11 +371,17 @@ mod tests {
             },
             2,
         );
-        assert_eq!(d.dispatch(VideoId(0), 4_000, &layout, &links), Decision::Reject);
+        assert_eq!(
+            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            Decision::Reject
+        );
     }
 
     #[test]
     fn default_policy_is_paper_policy() {
-        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::StaticRoundRobin);
+        assert_eq!(
+            AdmissionPolicy::default(),
+            AdmissionPolicy::StaticRoundRobin
+        );
     }
 }

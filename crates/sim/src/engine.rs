@@ -23,6 +23,7 @@ use crate::metrics::{MetricsCollector, SimReport};
 use crate::server::LinkState;
 use crate::time::SimTime;
 use vod_model::{Catalog, ClusterSpec, Layout, ModelError};
+use vod_telemetry::Telemetry;
 use vod_workload::Trace;
 
 /// Run-time knobs.
@@ -126,6 +127,38 @@ impl<'a> Simulation<'a> {
 
     /// Replays `trace` and reports the outcome.
     pub fn run(&self, trace: &Trace) -> Result<SimReport, ModelError> {
+        self.run_with_telemetry(trace, &Telemetry::disabled())
+    }
+
+    /// Replays `trace`, recording engine counters and timings into
+    /// `telemetry` (see the `sim.*` instrument names below). With a
+    /// disabled handle this is identical to [`Simulation::run`]: every
+    /// instrument operation reduces to a branch on `None`.
+    ///
+    /// Instruments: counters `sim.arrivals`, `sim.admitted`,
+    /// `sim.rejected`, `sim.redirected`, `sim.departures`,
+    /// `sim.disrupted`, `sim.transitions`, `sim.samples`,
+    /// `sim.admission_probes`, `sim.events`; span `sim.run` (seconds);
+    /// histogram `sim.events_per_sec` (one observation per run).
+    pub fn run_with_telemetry(
+        &self,
+        trace: &Trace,
+        telemetry: &Telemetry,
+    ) -> Result<SimReport, ModelError> {
+        let span = telemetry.span("sim.run");
+        let ct_arrivals = telemetry.counter("sim.arrivals");
+        let ct_admitted = telemetry.counter("sim.admitted");
+        let ct_rejected = telemetry.counter("sim.rejected");
+        let ct_redirected = telemetry.counter("sim.redirected");
+        let ct_departures = telemetry.counter("sim.departures");
+        let ct_disrupted = telemetry.counter("sim.disrupted");
+        let ct_transitions = telemetry.counter("sim.transitions");
+        let ct_samples = telemetry.counter("sim.samples");
+        // Counters are cumulative across runs sharing this handle; this
+        // run's event count is the delta over the starting values.
+        let events_before =
+            ct_arrivals.get() + ct_departures.get() + ct_transitions.get() + ct_samples.get();
+
         let mut links = LinkState::new(self.cluster);
         let mut dispatcher = Dispatcher::new(self.config.policy, self.catalog.len());
         let mut metrics = MetricsCollector::new(self.catalog.len());
@@ -142,12 +175,12 @@ impl<'a> Simulation<'a> {
         // sample) with an instant <= `t`, in time order; ties break
         // departure-first, then transition, then sample.
         let advance_to = |t: SimTime,
-                              links: &mut LinkState,
-                              dispatcher: &mut Dispatcher,
-                              metrics: &mut MetricsCollector,
-                              departures: &mut DepartureQueue,
-                              next_transition: &mut usize,
-                              next_sample_min: &mut f64| {
+                          links: &mut LinkState,
+                          dispatcher: &mut Dispatcher,
+                          metrics: &mut MetricsCollector,
+                          departures: &mut DepartureQueue,
+                          next_transition: &mut usize,
+                          next_sample_min: &mut f64| {
             loop {
                 let dep_at = departures.next_time();
                 let tr_at = transitions.get(*next_transition).map(|x| x.at);
@@ -169,6 +202,7 @@ impl<'a> Simulation<'a> {
                 }
                 if dep_at == Some(min_at) {
                     let d = departures.pop_due(min_at).expect("peeked");
+                    ct_departures.inc();
                     if links.epoch(d.server) == d.epoch {
                         links.release(d.server, d.kbps);
                     }
@@ -178,13 +212,16 @@ impl<'a> Simulation<'a> {
                 } else if tr_at == Some(min_at) {
                     let tr = transitions[*next_transition];
                     *next_transition += 1;
+                    ct_transitions.inc();
                     if tr.up {
                         links.recover(tr.server);
                     } else {
                         let dropped = links.fail(tr.server);
+                        ct_disrupted.add(dropped as u64);
                         metrics.on_disrupted(dropped as u64);
                     }
                 } else {
+                    ct_samples.inc();
                     metrics.sample_loads(&links.stream_loads(), *next_sample_min);
                     *next_sample_min += sample_step;
                 }
@@ -209,6 +246,7 @@ impl<'a> Simulation<'a> {
                 .ok_or(ModelError::UnknownVideo(req.video))?;
             let kbps = video.bitrate.kbps() as u64;
 
+            ct_arrivals.inc();
             metrics.on_arrival(req.video.index());
             match dispatcher.dispatch(req.video, kbps, self.layout, &links) {
                 Decision::Admit {
@@ -216,6 +254,10 @@ impl<'a> Simulation<'a> {
                     backbone_kbps,
                 } => {
                     links.admit(server, kbps);
+                    ct_admitted.inc();
+                    if backbone_kbps > 0 {
+                        ct_redirected.inc();
+                    }
                     metrics.on_admit(backbone_kbps > 0);
                     departures.push(Departure {
                         at: t + SimTime::from_secs(video.duration_s),
@@ -226,7 +268,10 @@ impl<'a> Simulation<'a> {
                         epoch: links.epoch(server),
                     });
                 }
-                Decision::Reject => metrics.on_reject(req.video.index()),
+                Decision::Reject => {
+                    ct_rejected.inc();
+                    metrics.on_reject(req.video.index());
+                }
             }
             debug_assert!(links.within_capacity());
         }
@@ -243,6 +288,7 @@ impl<'a> Simulation<'a> {
             &mut next_sample_min,
         );
         for d in departures.drain_all() {
+            ct_departures.inc();
             if links.epoch(d.server) == d.epoch {
                 links.release(d.server, d.kbps);
             }
@@ -252,6 +298,22 @@ impl<'a> Simulation<'a> {
         }
         debug_assert_eq!(links.total_streams(), 0);
         debug_assert_eq!(dispatcher.backbone_used_kbps(), 0);
+
+        telemetry
+            .counter("sim.admission_probes")
+            .add(dispatcher.admission_probes());
+        if telemetry.is_enabled() {
+            let events =
+                ct_arrivals.get() + ct_departures.get() + ct_transitions.get() + ct_samples.get()
+                    - events_before;
+            telemetry.counter("sim.events").add(events);
+            let elapsed = span.elapsed_secs();
+            if elapsed > 0.0 {
+                telemetry
+                    .histogram("sim.events_per_sec")
+                    .observe(events as f64 / elapsed);
+            }
+        }
 
         Ok(metrics.finish(self.config.horizon_min))
     }
@@ -288,8 +350,7 @@ mod tests {
 
     fn run_tiny(requests: Vec<Request>) -> SimReport {
         let (catalog, cluster, layout) = tiny_world();
-        let sim =
-            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
         sim.run(&Trace::new(requests).unwrap()).unwrap()
     }
 
@@ -347,8 +408,7 @@ mod tests {
         )
         .unwrap();
         let layout = Layout::new(2, vec![vec![ServerId(0), ServerId(1)]]).unwrap();
-        let sim =
-            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
         let r = sim
             .run(&Trace::new(vec![req(0.0, 0), req(0.5, 0), req(1.0, 0)]).unwrap())
             .unwrap();
@@ -389,8 +449,7 @@ mod tests {
     #[test]
     fn unknown_video_is_an_error() {
         let (catalog, cluster, layout) = tiny_world();
-        let sim =
-            Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
         let trace = Trace::new(vec![req(0.0, 5)]).unwrap();
         assert!(matches!(
             sim.run(&trace),
@@ -402,9 +461,7 @@ mod tests {
     fn dimension_mismatches_rejected() {
         let (catalog, cluster, _) = tiny_world();
         let layout2 = Layout::new(2, vec![vec![ServerId(0)]]).unwrap();
-        assert!(
-            Simulation::new(&catalog, &cluster, &layout2, SimConfig::paper_default()).is_err()
-        );
+        assert!(Simulation::new(&catalog, &cluster, &layout2, SimConfig::paper_default()).is_err());
         let cfg = SimConfig {
             horizon_min: 0.0,
             ..SimConfig::paper_default()
@@ -544,15 +601,10 @@ mod tests {
             up_at_min: None,
         }];
 
-        let strict = Simulation::new(
-            &catalog,
-            &cluster,
-            &layout,
-            failing_cfg(outage.clone()),
-        )
-        .unwrap()
-        .run(&Trace::new(reqs.clone()).unwrap())
-        .unwrap();
+        let strict = Simulation::new(&catalog, &cluster, &layout, failing_cfg(outage.clone()))
+            .unwrap()
+            .run(&Trace::new(reqs.clone()).unwrap())
+            .unwrap();
         // Static RR alternates; every dispatch to s0 dies.
         assert_eq!(strict.rejected, 10);
 
@@ -566,6 +618,47 @@ mod tests {
             .run(&Trace::new(reqs).unwrap())
             .unwrap();
         assert_eq!(failover.rejected, 0);
+    }
+
+    #[test]
+    fn telemetry_counters_match_report() {
+        let (catalog, cluster, layout) = tiny_world();
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let trace = Trace::new(vec![req(0.0, 0), req(5.0, 0), req(12.0, 0)]).unwrap();
+        let telemetry = Telemetry::enabled();
+        let r = sim.run_with_telemetry(&trace, &telemetry).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sim.arrivals"), r.arrivals);
+        assert_eq!(snap.counter("sim.admitted"), r.admitted);
+        assert_eq!(snap.counter("sim.rejected"), r.rejected);
+        // Every admitted stream eventually departs (possibly in the
+        // post-horizon drain).
+        assert_eq!(snap.counter("sim.departures"), r.admitted);
+        // Static RR probes exactly once per arrival.
+        assert_eq!(snap.counter("sim.admission_probes"), r.arrivals);
+        // 90-min horizon, 1-min cadence: samples at 0..=90.
+        assert_eq!(snap.counter("sim.samples"), 91);
+        assert_eq!(snap.histogram("sim.run").count, 1);
+        assert_eq!(snap.histogram("sim.events_per_sec").count, 1);
+        assert!(snap.histogram("sim.events_per_sec").min > 0.0);
+        assert_eq!(
+            snap.counter("sim.events"),
+            r.arrivals + r.admitted + 91 // arrivals + departures + samples
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_is_equivalent() {
+        let (catalog, cluster, layout) = tiny_world();
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let trace = Trace::new(vec![req(0.0, 0), req(5.0, 0)]).unwrap();
+        let plain = sim.run(&trace).unwrap();
+        let telemetry = Telemetry::enabled();
+        let instrumented = sim.run_with_telemetry(&trace, &telemetry).unwrap();
+        assert_eq!(plain.arrivals, instrumented.arrivals);
+        assert_eq!(plain.admitted, instrumented.admitted);
+        assert_eq!(plain.rejected, instrumented.rejected);
+        assert_eq!(plain.rejection_rate, instrumented.rejection_rate);
     }
 
     #[test]

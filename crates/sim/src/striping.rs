@@ -27,6 +27,7 @@ use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vod_model::{Catalog, ClusterSpec, ModelError};
+use vod_telemetry::Telemetry;
 use vod_workload::Trace;
 
 /// Configuration of the striped-cluster simulation.
@@ -111,6 +112,25 @@ impl<'a> StripedSimulation<'a> {
         })
     }
 
+    /// [`StripedSimulation::run`], recording the run's `sim.*`
+    /// instruments into `telemetry`. The striped replay has no per-event
+    /// dispatch to hook, so the counters are derived from the final
+    /// report; the `sim.run` span still times the whole replay.
+    pub fn run_with_telemetry(
+        &self,
+        trace: &Trace,
+        telemetry: &Telemetry,
+    ) -> Result<SimReport, ModelError> {
+        let span = telemetry.span("sim.run");
+        let report = self.run(trace)?;
+        drop(span);
+        telemetry.counter("sim.arrivals").add(report.arrivals);
+        telemetry.counter("sim.admitted").add(report.admitted);
+        telemetry.counter("sim.rejected").add(report.rejected);
+        telemetry.counter("sim.disrupted").add(report.disrupted);
+        Ok(report)
+    }
+
     /// Replays `trace`. The binding constraint is the *most loaded link*;
     /// since every stream loads all links identically, that is simply the
     /// smallest per-server bandwidth.
@@ -145,15 +165,15 @@ impl<'a> StripedSimulation<'a> {
         let mut epoch_of: Vec<u32> = Vec::new();
 
         let process_until = |t: SimTime,
-                                 metrics: &mut MetricsCollector,
-                                 departures: &mut BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-                                 used: &mut f64,
-                                 active: &mut u32,
-                                 epoch: &mut u32,
-                                 down: &mut usize,
-                                 next_transition: &mut usize,
-                                 next_sample_min: &mut f64,
-                                 epoch_of: &mut Vec<u32>| {
+                             metrics: &mut MetricsCollector,
+                             departures: &mut BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+                             used: &mut f64,
+                             active: &mut u32,
+                             epoch: &mut u32,
+                             down: &mut usize,
+                             next_transition: &mut usize,
+                             next_sample_min: &mut f64,
+                             epoch_of: &mut Vec<u32>| {
             loop {
                 let dep_at = departures.peek().map(|Reverse((at, _, _))| *at);
                 let tr_at = transitions.get(*next_transition).map(|x| x.at);
@@ -217,8 +237,7 @@ impl<'a> StripedSimulation<'a> {
                 .catalog
                 .get(req.video)
                 .ok_or(ModelError::UnknownVideo(req.video))?;
-            let per_link_kbps =
-                video.bitrate.kbps() as f64 * (1.0 + self.config.overhead) / n;
+            let per_link_kbps = video.bitrate.kbps() as f64 * (1.0 + self.config.overhead) / n;
 
             metrics.on_arrival(req.video.index());
             if down_servers == 0 && used_per_link_kbps + per_link_kbps <= min_link_kbps + 1e-9 {
@@ -312,8 +331,7 @@ mod tests {
             overhead: 0.5,
             ..StripedConfig::default()
         };
-        let sim_heavy =
-            StripedSimulation::new(&catalog, &cluster, cfg_heavy).unwrap();
+        let sim_heavy = StripedSimulation::new(&catalog, &cluster, cfg_heavy).unwrap();
         let reqs: Vec<Request> = (0..5).map(|k| req(k as f64 * 0.5, k % 4)).collect();
         let r_heavy = sim_heavy.run(&Trace::new(reqs).unwrap()).unwrap();
         assert!(r_heavy.admitted < r.admitted);
@@ -344,7 +362,13 @@ mod tests {
         let sim = StripedSimulation::new(&catalog, &cluster, cfg).unwrap();
         // 3 streams start before the failure; all die at t=2; requests
         // during the outage are rejected; after recovery admission works.
-        let reqs = vec![req(0.0, 0), req(0.5, 1), req(1.0, 2), req(3.0, 3), req(6.0, 0)];
+        let reqs = vec![
+            req(0.0, 0),
+            req(0.5, 1),
+            req(1.0, 2),
+            req(3.0, 3),
+            req(6.0, 0),
+        ];
         let r = sim.run(&Trace::new(reqs).unwrap()).unwrap();
         assert_eq!(r.disrupted, 3);
         assert_eq!(r.rejected, 1); // t=3.0 during outage

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn add_works() {
-        assert_eq!(SimTime::from_secs(60) + SimTime::from_secs(30), SimTime(90_000));
+        assert_eq!(
+            SimTime::from_secs(60) + SimTime::from_secs(30),
+            SimTime(90_000)
+        );
     }
 
     #[test]

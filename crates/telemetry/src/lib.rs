@@ -1,0 +1,454 @@
+//! Lightweight run telemetry for the VoD reproduction.
+//!
+//! Three instruments, all handed out by a [`Telemetry`] handle:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`;
+//! * [`Histogram`] — count/sum/min/max plus power-of-two buckets;
+//! * [`Span`] — an RAII wall-clock timer keyed by name, recording into
+//!   the span registry (and usable for per-phase timings).
+//!
+//! A `Telemetry` handle is either *enabled* (backed by a shared
+//! registry) or *disabled*. Disabled handles hand out instrument
+//! handles whose every operation is a branch on `None` — no
+//! allocation, no locking, no atomics — so instrumented hot loops pay
+//! effectively nothing when telemetry is off. Handles are `Clone` and
+//! cheap to pass around; clones of an enabled handle share one
+//! registry.
+//!
+//! [`Snapshot`] freezes the registry into plain serializable maps, and
+//! the [`manifest`] module turns snapshots plus run parameters into
+//! JSONL run-manifest records.
+
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub mod manifest;
+
+pub use manifest::{ManifestWriter, PhaseTiming, RunRecord};
+
+/// Number of power-of-two histogram buckets (`bucket[i]` counts values
+/// in `[2^(i-1), 2^i)`, with bucket 0 catching everything below 1).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+}
+
+/// Entry point: hands out counters, histograms, and spans.
+///
+/// Construct with [`Telemetry::enabled`] or [`Telemetry::disabled`].
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A recording handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            registry: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// A no-op handle: all instruments it hands out record nothing.
+    pub fn disabled() -> Self {
+        Telemetry { registry: None }
+    }
+
+    /// Whether instruments from this handle actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// Clones of this handle return the same underlying counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter {
+            cell: self.registry.as_ref().map(|r| {
+                Arc::clone(
+                    r.counters
+                        .lock()
+                        .entry(name)
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+                )
+            }),
+        }
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram {
+            cell: self.registry.as_ref().map(|r| {
+                Arc::clone(
+                    r.histograms
+                        .lock()
+                        .entry(name)
+                        .or_insert_with(|| Arc::new(HistogramCell::default())),
+                )
+            }),
+        }
+    }
+
+    /// Starts an RAII wall-clock timer; on drop it records elapsed
+    /// seconds into the histogram `name`. Spans nest freely — each
+    /// records independently.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            histogram: self.histogram(name),
+            started: self.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Freezes all instruments into plain maps. Returns an empty
+    /// snapshot for disabled handles.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(registry) = &self.registry else {
+            return Snapshot::default();
+        };
+        let counters = registry
+            .counters
+            .lock()
+            .iter()
+            .map(|(&name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = registry
+            .histograms
+            .lock()
+            .iter()
+            .map(|(&name, cell)| (name.to_string(), cell.stats()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// A monotonically increasing counter. No-op when its `Telemetry`
+/// handle was disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A detached no-op counter (equivalent to one from a disabled
+    /// handle); useful as a default field value.
+    pub fn noop() -> Self {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for no-op counters).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct HistogramCell {
+    inner: Mutex<HistogramData>,
+}
+
+#[derive(Clone)]
+struct HistogramData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// The index of the power-of-two bucket covering `value`.
+fn bucket_index(value: f64) -> usize {
+    if value < 1.0 {
+        return 0;
+    }
+    let exp = value.log2().floor() as usize + 1;
+    exp.min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl HistogramCell {
+    fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut data = self.inner.lock();
+        data.count += 1;
+        data.sum += value;
+        data.min = data.min.min(value);
+        data.max = data.max.max(value);
+        let idx = bucket_index(value);
+        data.buckets[idx] += 1;
+    }
+
+    fn stats(&self) -> HistogramStats {
+        let data = self.inner.lock().clone();
+        HistogramStats {
+            count: data.count,
+            sum: data.sum,
+            min: if data.count == 0 { 0.0 } else { data.min },
+            max: if data.count == 0 { 0.0 } else { data.max },
+        }
+    }
+}
+
+/// A distribution recorder. No-op when its `Telemetry` handle was
+/// disabled. Non-finite observations are dropped.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if let Some(cell) = &self.cell {
+            cell.observe(value);
+        }
+    }
+
+    /// Summary statistics (zeros for no-op histograms).
+    pub fn stats(&self) -> HistogramStats {
+        self.cell
+            .as_ref()
+            .map_or_else(HistogramStats::default, |cell| cell.stats())
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Count/sum/min/max summary of a histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramStats {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramStats {
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// RAII wall-clock timer from [`Telemetry::span`]. Records elapsed
+/// seconds into its histogram when dropped.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// Seconds since the span started (0 for no-op spans).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.map_or(0.0, |t| t.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            self.histogram.observe(started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A frozen, serializable view of a registry.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name (spans appear here, in seconds).
+    pub histograms: BTreeMap<String, HistogramStats>,
+}
+
+impl Snapshot {
+    /// The counter value, or 0 if never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram summary, or zeros if never registered.
+    pub fn histogram(&self, name: &str) -> HistogramStats {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let telemetry = Telemetry::enabled();
+        let a = telemetry.counter("arrivals");
+        let b = telemetry.counter("arrivals");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(telemetry.snapshot().counter("arrivals"), 5);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let telemetry = Telemetry::enabled();
+        let clone = telemetry.clone();
+        clone.counter("x").add(7);
+        assert_eq!(telemetry.snapshot().counter("x"), 7);
+    }
+
+    #[test]
+    fn histogram_stats_are_correct() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.histogram("load");
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.observe(v);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.sum, 16.0);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 10.0);
+        assert_eq!(stats.mean(), 4.0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.histogram("h");
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(2.0);
+        assert_eq!(h.stats().count, 1);
+    }
+
+    #[test]
+    fn bucket_index_covers_domain() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.5), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.9), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn spans_record_elapsed_and_nest() {
+        let telemetry = Telemetry::enabled();
+        {
+            let _outer = telemetry.span("outer");
+            {
+                let _inner = telemetry.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = telemetry.snapshot();
+        let outer = snap.histogram("outer");
+        let inner = snap.histogram("inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(
+            outer.sum >= inner.sum,
+            "outer {} should cover inner {}",
+            outer.sum,
+            inner.sum
+        );
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        let c = telemetry.counter("c");
+        let h = telemetry.histogram("h");
+        c.add(100);
+        h.observe(1.0);
+        {
+            let span = telemetry.span("s");
+            assert_eq!(span.elapsed_secs(), 0.0);
+        }
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.stats().count, 0);
+        let snap = telemetry.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let telemetry = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = telemetry.counter("shared");
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(telemetry.snapshot().counter("shared"), 4000);
+    }
+}

@@ -178,7 +178,12 @@ mod tests {
     fn skew_shows_in_counts() {
         let t = gen(1.0, 40.0, 33);
         let counts = t.counts(20);
-        assert!(counts[0] > counts[19], "head {} tail {}", counts[0], counts[19]);
+        assert!(
+            counts[0] > counts[19],
+            "head {} tail {}",
+            counts[0],
+            counts[19]
+        );
     }
 
     #[test]

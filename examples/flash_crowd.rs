@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("\nflash crowd on rank-60 (20× demand), λ = {lambda} req/min:");
-    println!("{:<18} {:>9} {:>10} {:>12}", "policy", "rejected", "rate", "redirected");
+    println!(
+        "{:<18} {:>9} {:>10} {:>12}",
+        "policy", "rejected", "rate", "redirected"
+    );
     for (name, policy) in policies {
         let mut rng = ChaCha8Rng::seed_from_u64(66);
         // Hand-build the trace from the surprise distribution.

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== planning ==");
     for (repl, plc) in [
         (ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst),
-        (ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst),
+        (
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        ),
         (ReplicationAlgo::Classification, PlacementAlgo::RoundRobin),
     ] {
         let plan = planner.plan(repl, plc)?;
@@ -49,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = planner.plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)?;
     println!("\n== adams+slf plan ==");
     print!("{}", vod_model::summary::scheme_summary(&best.scheme, 8));
-    print!("{}", vod_model::summary::layout_summary(&best.layout, &best.weights));
+    print!(
+        "{}",
+        vod_model::summary::layout_summary(&best.layout, &best.weights)
+    );
 
     println!("\n== simulating the peak hour (λ = 40 req/min, 90 min) ==");
     let mut rng = ChaCha8Rng::seed_from_u64(2002);

@@ -71,7 +71,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrate ladder usage:");
     for rung in BitRate::LADDER {
         let count = best.rates.iter().filter(|&&r| r == rung).count();
-        println!("  {:>8}  {:>3}  {}", rung.to_string(), count, "#".repeat(count.min(60)));
+        println!(
+            "  {:>8}  {:>3}  {}",
+            rung.to_string(),
+            count,
+            "#".repeat(count.min(60))
+        );
     }
 
     // The most popular videos should have climbed the ladder fastest.

@@ -49,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ] {
             // Same trace for every cell: seed fixed per degree.
             let mut rng = ChaCha8Rng::seed_from_u64(2_030);
-            let trace = TraceGenerator::new(lambda, planner.popularity(), 90.0)?
-                .generate(&mut rng);
+            let trace = TraceGenerator::new(lambda, planner.popularity(), 90.0)?.generate(&mut rng);
             let config = SimConfig {
                 policy,
                 failures: outage.clone(),

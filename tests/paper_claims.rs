@@ -59,7 +59,10 @@ fn rejection_improves_with_replication_degree() {
         r20 <= r10 + 0.01,
         "degree 2.0 ({r20}) should not reject more than 1.0 ({r10})"
     );
-    assert!(r10 > 0.02, "baseline must actually reject at capacity: {r10}");
+    assert!(
+        r10 > 0.02,
+        "baseline must actually reject at capacity: {r10}"
+    );
 }
 
 /// Claim 2 (Fig. 5): zipf+slf ≤ class+rr in rejection rate at every

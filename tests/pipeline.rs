@@ -77,7 +77,10 @@ fn adams_and_zipf_schemes_agree_in_quality() {
         .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
         .unwrap();
     let zipf = p
-        .plan(ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst)
+        .plan(
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        )
         .unwrap();
     assert_eq!(adams.scheme.total(), zipf.scheme.total());
     let wa = adams.imbalance_bound;
@@ -110,7 +113,10 @@ fn simulated_rejection_orders_like_the_paper() {
     // (averaged over a few seeds).
     let p = planner(100, 1.0, 18); // degree 1.44
     let good = p
-        .plan(ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst)
+        .plan(
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        )
         .unwrap();
     let base = p
         .plan(ReplicationAlgo::Classification, PlacementAlgo::RoundRobin)
@@ -147,10 +153,22 @@ fn heterogeneous_cluster_extension_works() {
     let pop = Popularity::zipf(m, 0.8).unwrap();
     let per_replica = BitRate::MPEG2.storage_bytes(5_400);
     let cluster = ClusterSpec::heterogeneous(vec![
-        ServerSpec { storage_bytes: 12 * per_replica, bandwidth_kbps: 1_800_000 },
-        ServerSpec { storage_bytes: 12 * per_replica, bandwidth_kbps: 1_800_000 },
-        ServerSpec { storage_bytes: 6 * per_replica, bandwidth_kbps: 900_000 },
-        ServerSpec { storage_bytes: 6 * per_replica, bandwidth_kbps: 900_000 },
+        ServerSpec {
+            storage_bytes: 12 * per_replica,
+            bandwidth_kbps: 1_800_000,
+        },
+        ServerSpec {
+            storage_bytes: 12 * per_replica,
+            bandwidth_kbps: 1_800_000,
+        },
+        ServerSpec {
+            storage_bytes: 6 * per_replica,
+            bandwidth_kbps: 900_000,
+        },
+        ServerSpec {
+            storage_bytes: 6 * per_replica,
+            bandwidth_kbps: 900_000,
+        },
     ])
     .unwrap();
     let capacities: Vec<u64> = cluster

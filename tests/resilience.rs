@@ -137,7 +137,10 @@ fn failover_policy_exploits_replicas_during_outage() {
 fn multiple_staggered_outages_stay_conservative() {
     let p = planner(60, 12);
     let plan = p
-        .plan(ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst)
+        .plan(
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        )
         .unwrap();
     let failures = FailurePlan::new(vec![
         Outage {
@@ -196,9 +199,8 @@ fn adaptive_runner_beats_static_under_sustained_drift() {
         let mut rng = ChaCha8Rng::seed_from_u64(504);
         runner.run_days(&drift, 6, &mut rng).unwrap()
     };
-    let sum = |days: &[vod_core::DayReport]| -> f64 {
-        days[1..].iter().map(|d| d.rejection_rate).sum()
-    };
+    let sum =
+        |days: &[vod_core::DayReport]| -> f64 { days[1..].iter().map(|d| d.rejection_rate).sum() };
     let static_total = sum(&run(ReplanStrategy::Static));
     let oracle_total = sum(&run(ReplanStrategy::Oracle));
     assert!(

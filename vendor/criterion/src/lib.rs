@@ -1,0 +1,290 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the group/bencher API surface this workspace's benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`/`criterion_main!`) backed by straightforward
+//! wall-clock measurement: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean/min/max per-iteration
+//! time plus derived throughput. No statistical regression analysis,
+//! HTML reports, or baseline storage.
+//!
+//! Running under `cargo bench` passes `--bench`; `cargo test --benches`
+//! passes `--test`, in which case each benchmark executes exactly once
+//! as a smoke check. Unknown flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration shared by all groups (CLI-driven).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value we don't interpret (e.g. --save-baseline x).
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's two-part identifier (function + parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{full}: ok (test mode)");
+            return;
+        }
+        report(&full, &bencher.samples, self.throughput);
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`: short warm-up, then `sample_size` timed runs.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: up to three runs, stopping early past ~200ms.
+        let warmup_start = Instant::now();
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+            if warmup_start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let rate = throughput.map(|t| {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            format!("  thrpt: {:.4e} {label}", units as f64 / secs)
+        } else {
+            String::new()
+        }
+    });
+    println!(
+        "{id}: mean {:?}  min {:?}  max {:?}  ({} samples){}",
+        mean,
+        min,
+        max,
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collects benchmark functions into a runner invoked by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+            test_mode: false,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(count >= 6, "warm-up plus samples should run >= 6 times");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("adams", 200).to_string(), "adams/200");
+    }
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

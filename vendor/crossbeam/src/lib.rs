@@ -1,0 +1,42 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel::unbounded` with cloned
+//! senders feeding a single receiver drained after a scope join —
+//! `std::sync::mpsc` has identical semantics for that pattern, so this
+//! shim simply re-exports it under crossbeam's names.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (the `crossbeam-channel` subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// A channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_preserves_all_messages() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 40);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[39], 309);
+    }
+}

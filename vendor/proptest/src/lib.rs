@@ -1,0 +1,386 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! A deterministic property-testing harness exposing the subset of
+//! proptest's API this workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and
+//! collection strategies, [`any`], and [`ProptestConfig`].
+//!
+//! Differences from the real crate, chosen deliberately for an offline,
+//! CI-stable environment:
+//!
+//! * **Deterministic seeding.** Case seeds derive from the test's file
+//!   and function name plus the case index — no OS entropy, so every
+//!   run and every CI machine explores the identical case sequence.
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   (Debug-formatted) and its seed instead of a minimized example.
+//! * **`PROPTEST_CASES` is a ceiling.** The env var caps the case count
+//!   even when a suite sets `ProptestConfig::with_cases` explicitly, so
+//!   CI can globally tame long property suites.
+//! * **Regression files replay as seeds.** Each `cc <hash>` line in the
+//!   sibling `.proptest-regressions` file is folded into a seed that is
+//!   replayed (deterministically) before any novel cases run. The real
+//!   crate's hash encodes its internal generator state, which a
+//!   reimplementation cannot reproduce value-for-value; folding it into
+//!   the seed stream preserves the contract that checked-in regressions
+//!   are exercised first on every run.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod strategy;
+
+pub use strategy::{Just, Map, Strategy};
+
+/// The RNG driving generation (the vendored ChaCha8).
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; draw a fresh case.
+    Reject(String),
+}
+
+/// Per-suite knobs (subset of the real crate's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected draws (across the run) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` novel cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// FNV-1a, for deriving stable per-test base seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Seeds replayed before novel cases: every `cc <hash>` entry of the
+/// test file's sibling `.proptest-regressions` file, folded to a u64.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            Some(fnv1a(token.as_bytes()))
+        })
+        .collect()
+}
+
+/// Runs one property: regression seeds first, then `config.cases` novel
+/// cases (capped by the `PROPTEST_CASES` env var). Panics on the first
+/// failing case with its seed and Debug-formatted inputs.
+pub fn run_cases<F>(config: &ProptestConfig, source_file: &str, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let env_cap = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok());
+    let cases = match env_cap {
+        Some(cap) => config.cases.min(cap),
+        None => config.cases,
+    };
+    let base = fnv1a(format!("{source_file}::{test_name}").as_bytes());
+
+    let mut rejects = 0u32;
+    let mut run_seed = |seed: u64, label: &str| {
+        let mut attempt = 0u64;
+        loop {
+            let attempt_seed = seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::seed_from_u64(attempt_seed);
+            let (desc, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => return,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    attempt += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest {test_name}: too many prop_assume! rejections \
+                         ({rejects}); strategy support is too narrow"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest {test_name} failed ({label}, seed {attempt_seed:#018x}):\n  \
+                     {msg}\n  inputs: {desc}"
+                ),
+            }
+        }
+    };
+
+    for (i, seed) in regression_seeds(source_file).into_iter().enumerate() {
+        run_seed(seed, &format!("regression #{i}"));
+    }
+    for i in 0..cases {
+        run_seed(
+            base.wrapping_add(u64::from(i)),
+            &format!("case {i}/{cases}"),
+        );
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// That canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full domain for ints, fair bool).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = strategy::StandardAny<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::StandardAny::new()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*` (including the `prop` module alias).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<bool>(), 1..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                &__config,
+                ::std::file!(),
+                ::std::stringify!($name),
+                |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)*
+                    let __desc = ::std::format!(
+                        ::std::concat!("{}" $(, ::std::stringify!($pat), " = {:?}; ")*),
+                        "" $(, &$pat)*
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__desc, __outcome)
+                },
+            );
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property; failure reports the case instead of
+/// unwinding through the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (drawn again with a fresh seed) when its
+/// inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3usize..10,
+            y in -5i64..=5,
+            z in 0.25f64..4.0,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..4.0).contains(&z));
+        }
+
+        #[test]
+        fn collections_and_options(
+            v in prop::collection::vec(0u32..3, 2..10),
+            o in prop::option::of(1.0f64..2.0),
+        ) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 3));
+            if let Some(x) = o {
+                prop_assert!((1.0..2.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn map_and_assume(w in prop::collection::vec(0u32..4, 1..6)) {
+            prop_assume!(w.iter().sum::<u32>() > 0);
+            let doubled = w.iter().map(|&x| x * 2).collect::<Vec<_>>();
+            prop_assert_eq!(doubled.len(), w.len());
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u64..1000, 3..=6);
+        let a: Vec<u64> = strat.generate(&mut crate::TestRng::seed_from_u64(5));
+        let b: Vec<u64> = strat.generate(&mut crate::TestRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics_with_inputs() {
+        crate::run_cases(
+            &crate::ProptestConfig::with_cases(8),
+            "no-such-file.rs",
+            "failing_property",
+            |_rng| {
+                (
+                    "x = 1".to_string(),
+                    Err(crate::TestCaseError::Fail("boom".into())),
+                )
+            },
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Numeric strategy helpers. Range strategies themselves are
+//! implemented directly on `Range`/`RangeInclusive` in
+//! [`crate::strategy`]; this module exists for path compatibility with
+//! `proptest::num` and hosts any numeric-domain constants callers need.
+
+/// `f64` domain helpers.
+pub mod f64 {
+    /// Finite, full-magnitude `f64` strategy (positive and negative,
+    /// no NaN/inf) — a pragmatic stand-in for `proptest::num::f64::ANY`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl crate::Strategy for Any {
+        type Value = core::primitive::f64;
+
+        fn generate(&self, rng: &mut crate::TestRng) -> core::primitive::f64 {
+            use rand::Rng;
+            let magnitude = rng.gen_range(-300.0f64..300.0);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * core::primitive::f64::powf(10.0, magnitude / 10.0)
+        }
+    }
+
+    /// The [`Any`] strategy value.
+    pub const ANY: Any = Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let x = super::f64::ANY.generate(&mut rng);
+            assert!(x.is_finite() && x != 0.0);
+        }
+    }
+}

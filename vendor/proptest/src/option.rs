@@ -1,0 +1,52 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// A strategy yielding `None` about a quarter of the time and
+/// `Some(inner)` otherwise (matching proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let s = of(0u32..10);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..400 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Value-generation strategies (no shrinking — see crate docs).
+
+use crate::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can generate values of `Self::Value` from the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy backing [`crate::any`], drawing from rand's
+/// `Standard` distribution.
+pub struct StandardAny<T>(PhantomData<T>);
+
+impl<T> StandardAny<T> {
+    pub(crate) fn new() -> Self {
+        StandardAny(PhantomData)
+    }
+}
+
+impl<T> Clone for StandardAny<T> {
+    fn clone(&self) -> Self {
+        StandardAny(PhantomData)
+    }
+}
+
+impl<T> std::fmt::Debug for StandardAny<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StandardAny")
+    }
+}
+
+impl<T> Strategy for StandardAny<T>
+where
+    T: std::fmt::Debug,
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+        rng.gen_range(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_composes() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = (1u32..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!(Just(vec![7u8]).generate(&mut rng), vec![7u8]);
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = 0u64..=1;
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

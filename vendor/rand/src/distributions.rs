@@ -1,0 +1,148 @@
+//! The [`Standard`] distribution and uniform range sampling.
+//!
+//! Semantics match rand 0.8.5 for the types the workspace samples:
+//! 53-bit floats, sign-bit booleans, and Lemire widening-multiply
+//! rejection for integer ranges.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the full domain for
+/// integers, uniform on `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 effective bits, multiply method (rand 0.8's default).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        ((rng.next_u64() >> 11) as f64) * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        ((rng.next_u32() >> 8) as f32) * scale
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Sign test on the most significant bit (rand 0.8's choice).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident as $word:ty),* $(,)?) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $word as $ty
+            }
+        }
+    )*};
+}
+
+standard_int! {
+    u8 => next_u32 as u32,
+    u16 => next_u32 as u32,
+    u32 => next_u32 as u32,
+    u64 => next_u64 as u64,
+    usize => next_u64 as u64,
+    i8 => next_u32 as u32,
+    i16 => next_u32 as u32,
+    i32 => next_u32 as u32,
+    i64 => next_u64 as u64,
+    isize => next_u64 as u64,
+}
+
+/// A range that can be sampled directly by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire's method: widening multiply, rejecting the biased low zone —
+/// the same loop as rand 0.8.5's `UniformInt::sample_single_inclusive`.
+macro_rules! uniform_int_range {
+    ($($ty:ty => $unsigned:ty, $large:ty, $sample_large:ident, $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let range =
+                    (high.wrapping_sub(low) as $unsigned as $large).wrapping_add(1);
+                if range == 0 {
+                    // Full domain.
+                    return rng.$sample_large() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$sample_large() as $large;
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$large>::BITS) as $large;
+                    let lo = m as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int_range! {
+    u8 => u8, u32, next_u32, u64,
+    u16 => u16, u32, next_u32, u64,
+    u32 => u32, u32, next_u32, u64,
+    i8 => u8, u32, next_u32, u64,
+    i16 => u16, u32, next_u32, u64,
+    i32 => u32, u32, next_u32, u64,
+    u64 => u64, u64, next_u64, u128,
+    i64 => u64, u64, next_u64, u128,
+    usize => usize, u64, next_u64, u128,
+    isize => usize, u64, next_u64, u128,
+}
+
+macro_rules! uniform_float_range {
+    ($($ty:ty => $standard:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit: $ty = Standard.sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let unit: $ty = Standard.sample(rng);
+                // Scale onto [low, high]; the endpoint is reachable via
+                // rounding, matching rand's inclusive float sampling in
+                // spirit (exact endpoint mass is measure-zero anyway).
+                let value = low + unit * (high - low);
+                if value > high { high } else { value }
+            }
+        }
+    )*};
+}
+
+uniform_float_range! {
+    f64 => f64,
+    f32 => f32,
+}

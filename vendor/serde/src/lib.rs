@@ -1,0 +1,424 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. This crate provides the subset the workspace
+//! relies on: `#[derive(Serialize, Deserialize)]`, the [`Serialize`] /
+//! [`Deserialize`] traits, and `serde::de::DeserializeOwned` bounds.
+//!
+//! Unlike real serde's visitor architecture, this stand-in serializes
+//! through an owned [`Value`] tree — simpler, amply fast for the
+//! experiment artifacts this repo archives, and encoding-compatible with
+//! `serde_json`'s external enum tagging (unit variant → string, struct
+//! variant → single-key object, newtype struct → transparent).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers (and any integer parsed with a leading `-`).
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: a message plus an optional path breadcrumb.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Prefixes the message with a field/variant context.
+    pub fn in_context(self, ctx: &str) -> Self {
+        DeError(format!("{ctx}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the tree doesn't fit.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    pub use super::{DeError, Deserialize};
+
+    /// Owned deserialization — with a value-tree design every
+    /// [`Deserialize`] is owned, so this is a blanket alias.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Looks up and deserializes a struct field (support code for the
+/// derive macro — not part of the public mirror of serde's API).
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    let v = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))?;
+    T::from_value(v).map_err(|e| e.in_context(name))
+}
+
+// ---- primitive impls ----
+
+macro_rules! ser_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range")))?,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+// 128-bit integers: values beyond u64/i64 range fall back to Float
+// (lossy above 2^53, like JSON consumers generally are); this workspace
+// only serializes microsecond timings through these.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::UInt(n) => Ok(u128::from(n)),
+            Value::Int(n) if n >= 0 => Ok(n as u128),
+            Value::Float(x) if x >= 0.0 && x.fract() == 0.0 => Ok(x as u128),
+            _ => Err(DeError::custom("expected u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(n) => n.to_value(),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Int(n) => Ok(i128::from(n)),
+            Value::UInt(n) => Ok(i128::from(n)),
+            Value::Float(x) if x.fract() == 0.0 => Ok(x as i128),
+            _ => Err(DeError::custom("expected i128")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Float(x) => Ok(x),
+            Value::Int(n) => Ok(n as f64),
+            Value::UInt(n) => Ok(n as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_context(k))?)))
+                .collect(),
+            _ => Err(DeError::custom("expected object")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output; HashMap iteration order is unspecified.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_context(k))?)))
+                .collect(),
+            _ => Err(DeError::custom("expected object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's value-tree [`Serialize`]/[`Deserialize`]
+//! traits for plain structs and enums. Implemented directly on
+//! `proc_macro` token trees (no `syn`/`quote` — those aren't available
+//! offline either). Supports exactly the shapes this workspace uses:
+//!
+//! * named-field structs,
+//! * tuple structs (arity 1 is transparent, like serde's newtype),
+//! * enums with unit, struct and newtype variants (external tagging).
+//!
+//! `#[serde(...)]` attributes and generics are not supported and
+//! panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---- parsed shapes ----
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---- parsing ----
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Splits a field-list token stream at top-level commas, tracking `<...>`
+/// nesting depth so types like `Vec<(u32, u32)>` don't split early.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde derive: expected `,` between variants, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        "union" => panic!("serde derive: unions are not supported"),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    let name = expect_ident(&mut iter, "type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            } else {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Item::TupleStruct {
+                name,
+                arity: tuple_arity(g.stream()),
+            }
+        }
+        other => panic!("serde derive: unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_object() {{\n\
+                             ::std::option::Option::Some(__entries) => \
+                                 ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"expected object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                   -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected {arity}-element array for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__fields, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __inner.as_object() {{\n\
+                                     ::std::option::Option::Some(__fields) => \
+                                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),\n\
+                                     ::std::option::Option::None => ::std::result::Result::Err(\
+                                         ::serde::DeError::custom(\
+                                         \"expected object for variant {vname} of {name}\")),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let inits: String = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                         ::std::result::Result::Ok({name}::{vname}({inits})),\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         \"expected {arity}-element array for variant {vname}\")),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(__s) = v.as_str() {{\n\
+                             return match __s {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(::std::format!(\
+                                     \"unknown variant `{{}}` for {name}\", __other))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(__entries) = v.as_object() {{\n\
+                             if __entries.len() == 1 {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 return match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::DeError::custom(::std::format!(\
+                                         \"unknown variant `{{}}` for {name}\", __other))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"expected a variant of {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the vendored serde's `Serialize` for plain structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored serde's `Deserialize` for plain structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
