@@ -18,8 +18,9 @@
 //!   ablation  admission-policy ablation (A-1)
 //!   availability  rejection under server failure vs replication degree (A-2)
 //!   drift     dynamic re-replication under popularity drift (A-3)
+//!   recovery  online failure recovery under stochastic faults (A-4)
 //!   sa2       multi-rate replica extension, objective ablation (SA-2)
-//!   striping  striping-vs-replication architectural comparison (A-4)
+//!   striping  striping-vs-replication architectural comparison (A-5)
 //!   perf-smoke  pinned-size throughput measurement (N = 8, M = 200,
 //!               fixed seed); prints one machine-readable PERF_SMOKE line
 //!
@@ -35,8 +36,8 @@ use vod_experiments::report::Reporter;
 use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
 use vod_experiments::{
-    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, sa,
-    sa_multirate, striping,
+    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, recovery,
+    sa, sa_multirate, striping,
 };
 use vod_sim::AdmissionPolicy;
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
@@ -109,6 +110,7 @@ const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
     ("ablation", 0xAB, ablation::run),
     ("availability", 0xFA11, availability::run),
     ("drift", 0xD21F7, drift::run),
+    ("recovery", 0x4EC0, recovery::run),
     ("sa2", 0x5A21, sa_multirate::run),
     ("striping", 0xA4, striping::run),
 ];
@@ -243,7 +245,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|striping|perf-smoke> \
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|perf-smoke> \
                  [--fast] [--runs N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
             );
             return ExitCode::FAILURE;

@@ -19,8 +19,9 @@
 //! | ablation | [`ablation`] | admission-policy ablation incl. backbone redirection (A-1) |
 //! | availability | [`availability`] | rejection under server failure vs replication degree (A-2) |
 //! | drift | [`drift`] | dynamic re-replication under popularity drift (A-3) |
+//! | recovery | [`recovery`] | online failure recovery under stochastic faults (A-4) |
 //! | sa2 | [`sa_multirate`] | multi-rate replica extension, objective ablation (SA-2) |
-//! | striping | [`striping`] | striping-vs-replication architectural comparison (A-4) |
+//! | striping | [`striping`] | striping-vs-replication architectural comparison (A-5) |
 //!
 //! All simulation experiments average over seeded runs fanned out across
 //! OS threads ([`runner`]); outputs go to stdout as aligned tables and to
@@ -41,6 +42,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod quality;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod sa;

@@ -1,4 +1,4 @@
-//! A-4 — striping vs. replication, the paper's architectural argument.
+//! A-5 — striping vs. replication, the paper's architectural argument.
 //!
 //! The paper's Sections 1–2 justify the distributed-storage + replication
 //! design over shared-storage wide striping: striping wins on balance and
@@ -70,13 +70,13 @@ fn run_striped(
     Ok((aggregate(lambda, &reports).rejection_rate, disrupted))
 }
 
-/// Regenerates the A-4 tables.
+/// Regenerates the A-5 tables.
 pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::error::Error>> {
     // Healthy sweep.
     let replicated = build_plan(setup, Combo::ZIPF_SLF, 1.0, 1.2)?;
     let overheads = [0.0, 0.1, 0.25];
     let mut table = Table::new(
-        "A-4: striping vs replication — rejection rate, healthy cluster (θ = 1.0)",
+        "A-5: striping vs replication — rejection rate, healthy cluster (θ = 1.0)",
         &[
             "lambda/min",
             "replicated (zipf+slf d1.2)",
@@ -160,7 +160,7 @@ pub fn run(setup: &PaperSetup, reporter: &Reporter) -> Result<(), Box<dyn std::e
         rep_reports.iter().map(|r| r.disrupted as f64).sum::<f64>() / rep_reports.len() as f64;
 
     let mut fail_table = Table::new(
-        "A-4: one server down 30–60 min (λ = 75% capacity)",
+        "A-5: one server down 30–60 min (λ = 75% capacity)",
         &["architecture", "rejection", "disrupted/run"],
     );
     fail_table.row(vec![

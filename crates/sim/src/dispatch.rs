@@ -20,7 +20,7 @@
 
 use crate::server::LinkState;
 use serde::{Deserialize, Serialize};
-use vod_model::{Layout, ServerId, VideoId};
+use vod_model::{ServerId, VideoId};
 
 /// How the dispatcher maps an arriving request to a serving server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -104,17 +104,18 @@ impl Dispatcher {
         pos
     }
 
-    /// Routes one request for `video` at `kbps`. Does **not** mutate link
-    /// state; the engine applies the returned decision (and must call
+    /// Routes one request for `video` at `kbps` over its current
+    /// `replicas` (in round-robin order — the layout's list, possibly
+    /// extended by mid-run repair). Does **not** mutate link state; the
+    /// engine applies the returned decision (and must call
     /// [`Self::release_backbone`] when a redirected stream ends).
     pub fn dispatch(
         &mut self,
         video: VideoId,
         kbps: u64,
-        layout: &Layout,
+        replicas: &[ServerId],
         links: &LinkState,
     ) -> Decision {
-        let replicas = layout.replicas_of(video);
         debug_assert!(!replicas.is_empty());
 
         match self.policy {
@@ -198,12 +199,33 @@ impl Dispatcher {
         debug_assert!(self.backbone_used_kbps >= kbps);
         self.backbone_used_kbps -= kbps;
     }
+
+    /// Charges a repair copy's inter-server traffic to the backbone pool
+    /// when the policy models one. Returns the kbps actually charged
+    /// (release it with [`Self::release_backbone`] when the copy ends):
+    /// `Some(0)` for policies without a backbone, `None` when the
+    /// backbone has no headroom (the copy must wait).
+    pub fn try_reserve_repair_backbone(&mut self, kbps: u64) -> Option<u64> {
+        match self.policy {
+            AdmissionPolicy::BackboneRedirect {
+                backbone_capacity_kbps,
+            } => {
+                if self.backbone_used_kbps + kbps <= backbone_capacity_kbps {
+                    self.backbone_used_kbps += kbps;
+                    Some(kbps)
+                } else {
+                    None
+                }
+            }
+            _ => Some(0),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vod_model::{ClusterSpec, ServerSpec};
+    use vod_model::{ClusterSpec, Layout, ServerSpec};
 
     fn layout_2videos() -> Layout {
         // v0 on {s0, s1}; v1 on {s2}.
@@ -229,7 +251,7 @@ mod tests {
         let links = links(100_000);
         let mut d = Dispatcher::new(AdmissionPolicy::StaticRoundRobin, 2);
         let picks: Vec<_> = (0..4)
-            .map(|_| d.dispatch(VideoId(0), 4_000, &layout, &links))
+            .map(|_| d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links))
             .collect();
         assert_eq!(
             picks,
@@ -264,12 +286,12 @@ mod tests {
         let mut d = Dispatcher::new(AdmissionPolicy::StaticRoundRobin, 2);
         // First dispatch schedules s0 -> reject even though s1 is free.
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Reject
         );
         // Pointer advanced: next goes to s1 and succeeds.
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Admit {
                 server: ServerId(1),
                 backbone_kbps: 0
@@ -284,7 +306,7 @@ mod tests {
         links.admit(ServerId(0), 4_000);
         let mut d = Dispatcher::new(AdmissionPolicy::RoundRobinFailover, 2);
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Admit {
                 server: ServerId(1),
                 backbone_kbps: 0
@@ -292,7 +314,7 @@ mod tests {
         );
         links.admit(ServerId(1), 4_000);
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Reject
         );
         // First dispatch probed s0 (full) then s1; second probed both.
@@ -306,7 +328,7 @@ mod tests {
         links.admit(ServerId(0), 50_000);
         let mut d = Dispatcher::new(AdmissionPolicy::LeastLoadedReplica, 2);
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Admit {
                 server: ServerId(1),
                 backbone_kbps: 0
@@ -327,7 +349,7 @@ mod tests {
         );
         // v1 lives only on s2; saturate s2 so redirect is exercised.
         links.admit(ServerId(2), 8_000);
-        let decision = d.dispatch(VideoId(1), 4_000, &layout, &links);
+        let decision = d.dispatch(VideoId(1), 4_000, layout.replicas_of(VideoId(1)), &links);
         // Proxy = most free link among all servers = s1.
         assert_eq!(
             decision,
@@ -353,7 +375,7 @@ mod tests {
             2,
         );
         assert_eq!(
-            d.dispatch(VideoId(1), 4_000, &layout, &links),
+            d.dispatch(VideoId(1), 4_000, layout.replicas_of(VideoId(1)), &links),
             Decision::Reject
         );
     }
@@ -372,7 +394,7 @@ mod tests {
             2,
         );
         assert_eq!(
-            d.dispatch(VideoId(0), 4_000, &layout, &links),
+            d.dispatch(VideoId(0), 4_000, layout.replicas_of(VideoId(0)), &links),
             Decision::Reject
         );
     }

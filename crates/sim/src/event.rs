@@ -93,6 +93,33 @@ impl DepartureQueue {
         self.heap.peek().map(|Reverse((at, _, _))| *at)
     }
 
+    /// Removes and returns every departure on `server` whose epoch
+    /// matches `epoch` — the streams actually alive there — in
+    /// deterministic `(time, sequence)` order. Stale entries (older
+    /// epochs) stay queued: under the backbone extension their backbone
+    /// reservation is still released at the scheduled end. Used by
+    /// stream failover to take over a failing server's streams before
+    /// the link state kills them.
+    pub fn extract_active(&mut self, server: ServerId, epoch: u32) -> Vec<Departure> {
+        let entries = std::mem::take(&mut self.heap).into_sorted_vec();
+        let mut extracted = Vec::new();
+        for Reverse((at, seq, rec)) in entries.into_iter().rev() {
+            if rec.server == server && rec.epoch == epoch {
+                extracted.push(Departure {
+                    at,
+                    server: rec.server,
+                    video: rec.video,
+                    kbps: rec.kbps,
+                    backbone_kbps: rec.backbone_kbps,
+                    epoch: rec.epoch,
+                });
+            } else {
+                self.heap.push(Reverse((at, seq, rec)));
+            }
+        }
+        extracted
+    }
+
     /// Drains every remaining departure in time order (end-of-run cleanup).
     pub fn drain_all(&mut self) -> Vec<Departure> {
         let mut out = Vec::with_capacity(self.heap.len());
@@ -175,6 +202,30 @@ mod tests {
         let times: Vec<u64> = q.drain_all().iter().map(|d| d.at.ticks()).collect();
         assert_eq!(times, vec![1, 3, 5, 9]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn extract_active_partitions_by_server_and_epoch() {
+        let mut q = DepartureQueue::new();
+        q.push(dep(30, 1));
+        q.push(Departure {
+            epoch: 1,
+            ..dep(10, 0)
+        });
+        q.push(dep(20, 0)); // epoch 0: stale once we extract epoch 1
+        q.push(Departure {
+            epoch: 1,
+            ..dep(5, 0)
+        });
+        let got = q.extract_active(ServerId(0), 1);
+        assert_eq!(
+            got.iter().map(|d| d.at.ticks()).collect::<Vec<_>>(),
+            vec![5, 10]
+        );
+        // The stale epoch-0 entry and the other server's entry survive.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due(SimTime(100)).unwrap().at, SimTime(20));
+        assert_eq!(q.pop_due(SimTime(100)).unwrap().server, ServerId(1));
     }
 
     #[test]

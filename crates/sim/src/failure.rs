@@ -1,16 +1,28 @@
-//! Server-failure injection.
+//! Server-failure injection: fixed plans and stochastic models.
 //!
 //! The paper motivates replication with availability: "Replication …
 //! can simplify the administration and enhance scalability and
 //! reliability of the clusters" and "multiple replicas also offer the
 //! flexibility in reconfiguration" (Sec. 1). This module makes that
-//! claim measurable: a [`FailurePlan`] takes servers down (and
-//! optionally back up) at fixed instants during the run. A failing
-//! server kills its active streams (counted as *disrupted*) and admits
-//! nothing until recovery; whether the cluster keeps serving its videos
-//! depends on the replication degree and the admission policy.
+//! claim measurable two ways:
+//!
+//! * a [`FailurePlan`] takes servers down (and optionally back up) at
+//!   fixed instants — the scripted outages of the A-2 experiment;
+//! * a [`FailureModel`] draws outages stochastically — per-server
+//!   exponential MTBF/MTTR renewal processes plus optional correlated
+//!   rack failures — from a seeded RNG, so a run is deterministic per
+//!   seed. The model *compiles* to a `FailurePlan`, so the engine
+//!   consumes one transition stream regardless of provenance.
+//!
+//! A failing server kills its active streams (counted as *disrupted*
+//! unless the engine's failover policy rescues them) and admits nothing
+//! until recovery; whether the cluster keeps serving its videos depends
+//! on the replication degree, the admission policy, and — with the
+//! repair controller enabled — how fast lost redundancy is rebuilt.
 
 use crate::time::SimTime;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use vod_model::{ModelError, ServerId};
 
@@ -40,6 +52,24 @@ pub(crate) struct Transition {
     pub up: bool,
 }
 
+fn check_times(o: &Outage) -> Result<(), ModelError> {
+    if !o.down_at_min.is_finite() || o.down_at_min < 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "down_at_min",
+            value: o.down_at_min,
+        });
+    }
+    if let Some(up) = o.up_at_min {
+        if !up.is_finite() || up <= o.down_at_min {
+            return Err(ModelError::InvalidParameter {
+                name: "up_at_min",
+                value: up,
+            });
+        }
+    }
+    Ok(())
+}
+
 impl FailurePlan {
     /// No failures.
     pub fn none() -> Self {
@@ -50,42 +80,83 @@ impl FailurePlan {
     /// failure, and no overlapping outages of one server.
     pub fn new(mut outages: Vec<Outage>) -> Result<Self, ModelError> {
         for o in &outages {
-            if !o.down_at_min.is_finite() || o.down_at_min < 0.0 {
-                return Err(ModelError::InvalidParameter {
-                    name: "down_at_min",
-                    value: o.down_at_min,
-                });
-            }
-            if let Some(up) = o.up_at_min {
-                if !up.is_finite() || up <= o.down_at_min {
-                    return Err(ModelError::InvalidParameter {
-                        name: "up_at_min",
-                        value: up,
-                    });
-                }
-            }
+            check_times(o)?;
         }
         outages.sort_by(|a, b| {
             a.down_at_min
                 .total_cmp(&b.down_at_min)
                 .then(a.server.cmp(&b.server))
         });
-        // Overlap check per server.
-        for i in 0..outages.len() {
-            for j in (i + 1)..outages.len() {
-                if outages[i].server != outages[j].server {
-                    continue;
-                }
-                let i_end = outages[i].up_at_min.unwrap_or(f64::INFINITY);
-                if outages[j].down_at_min < i_end {
-                    return Err(ModelError::InvalidParameter {
-                        name: "overlapping outages",
-                        value: outages[j].down_at_min,
-                    });
-                }
+        // Overlap check per server: sort an index by (server, down) so
+        // only *adjacent* outages of one server need comparing — O(n log n)
+        // total, which matters once stochastic models generate hundreds
+        // of outages per run.
+        let mut by_server: Vec<usize> = (0..outages.len()).collect();
+        by_server.sort_by(|&a, &b| {
+            outages[a]
+                .server
+                .cmp(&outages[b].server)
+                .then(outages[a].down_at_min.total_cmp(&outages[b].down_at_min))
+        });
+        for w in by_server.windows(2) {
+            let (prev, next) = (&outages[w[0]], &outages[w[1]]);
+            if prev.server != next.server {
+                continue;
+            }
+            let prev_end = prev.up_at_min.unwrap_or(f64::INFINITY);
+            if next.down_at_min < prev_end {
+                return Err(ModelError::InvalidParameter {
+                    name: "overlapping outages",
+                    value: next.down_at_min,
+                });
             }
         }
         Ok(FailurePlan { outages })
+    }
+
+    /// Builds a plan from outages that may overlap per server (e.g. a
+    /// rack failure overlapping an independent server failure), merging
+    /// overlapping or touching intervals into one outage. Used by
+    /// [`FailureModel::compile`], where a server can be down for more
+    /// than one cause at once.
+    pub fn merged(mut outages: Vec<Outage>) -> Result<Self, ModelError> {
+        for o in &outages {
+            check_times(o)?;
+        }
+        outages.sort_by(|a, b| {
+            a.server
+                .cmp(&b.server)
+                .then(a.down_at_min.total_cmp(&b.down_at_min))
+        });
+        let mut merged: Vec<Outage> = Vec::with_capacity(outages.len());
+        for o in outages {
+            match merged.last_mut() {
+                Some(last)
+                    if last.server == o.server
+                        && o.down_at_min <= last.up_at_min.unwrap_or(f64::INFINITY) =>
+                {
+                    last.up_at_min = match (last.up_at_min, o.up_at_min) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                }
+                _ => merged.push(o),
+            }
+        }
+        FailurePlan::new(merged)
+    }
+
+    /// Checks every outage references a server inside an `n_servers`
+    /// cluster; the simulation engines call this at bind time so a
+    /// `ServerId(99)` outage on an 8-server cluster is a
+    /// [`ModelError::UnknownServer`], not a silent no-op or a panic.
+    pub fn validate_servers(&self, n_servers: usize) -> Result<(), ModelError> {
+        for o in &self.outages {
+            if o.server.index() >= n_servers {
+                return Err(ModelError::UnknownServer(o.server));
+            }
+        }
+        Ok(())
     }
 
     /// The outages, sorted by failure time.
@@ -117,6 +188,175 @@ impl FailurePlan {
         }
         t.sort_by_key(|x| (x.at, x.server, x.up));
         t
+    }
+}
+
+/// Correlated failures of a group of servers (a rack, a power domain):
+/// the whole group fails and recovers together, on its own exponential
+/// MTBF/MTTR renewal process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackFailures {
+    /// Members that fail together.
+    pub servers: Vec<ServerId>,
+    /// Mean time between rack failures, minutes (exponential).
+    pub mtbf_min: f64,
+    /// Mean time to repair the rack, minutes (exponential).
+    pub mttr_min: f64,
+}
+
+/// Stochastic fault injection: each server fails on an independent
+/// exponential MTBF/MTTR alternating-renewal process, optionally
+/// overlaid with correlated [`RackFailures`]. Deterministic per `seed`
+/// — every server and rack derives its own RNG stream from it, so the
+/// drawn outages do not depend on iteration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Per-server mean time between failures, minutes. `f64::INFINITY`
+    /// disables independent per-server failures (rack failures only).
+    pub mtbf_min: f64,
+    /// Per-server mean time to repair, minutes.
+    pub mttr_min: f64,
+    /// Base RNG seed; identical seeds produce identical outage sets.
+    pub seed: u64,
+    /// Correlated group failures overlaid on the per-server processes.
+    pub racks: Vec<RackFailures>,
+}
+
+impl FailureModel {
+    /// A rack-free model: independent per-server MTBF/MTTR.
+    pub fn exponential(mtbf_min: f64, mttr_min: f64, seed: u64) -> Self {
+        FailureModel {
+            mtbf_min,
+            mttr_min,
+            seed,
+            racks: Vec::new(),
+        }
+    }
+
+    /// Parameter validation: positive MTBF (infinity allowed — "never"),
+    /// positive finite MTTR, rack members inside the cluster.
+    pub fn validate(&self, n_servers: usize) -> Result<(), ModelError> {
+        if self.mtbf_min.is_nan() || self.mtbf_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "mtbf_min",
+                value: self.mtbf_min,
+            });
+        }
+        if !self.mttr_min.is_finite() || self.mttr_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "mttr_min",
+                value: self.mttr_min,
+            });
+        }
+        for rack in &self.racks {
+            if rack.mtbf_min.is_nan() || rack.mtbf_min <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "rack mtbf_min",
+                    value: rack.mtbf_min,
+                });
+            }
+            if !rack.mttr_min.is_finite() || rack.mttr_min <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "rack mttr_min",
+                    value: rack.mttr_min,
+                });
+            }
+            for &s in &rack.servers {
+                if s.index() >= n_servers {
+                    return Err(ModelError::UnknownServer(s));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws every outage in `[0, horizon_min)` and compiles them into a
+    /// [`FailurePlan`] (per-server and rack intervals merged), which the
+    /// engine consumes exactly like a scripted plan.
+    pub fn compile(&self, n_servers: usize, horizon_min: f64) -> Result<FailurePlan, ModelError> {
+        self.validate(n_servers)?;
+        if !horizon_min.is_finite() || horizon_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "horizon_min",
+                value: horizon_min,
+            });
+        }
+        let mut outages = Vec::new();
+        if self.mtbf_min.is_finite() {
+            for j in 0..n_servers {
+                let mut rng = self.stream_rng(0x5EC0_0000 + j as u64);
+                draw_renewal_outages(
+                    &mut rng,
+                    self.mtbf_min,
+                    self.mttr_min,
+                    horizon_min,
+                    &[ServerId(j as u32)],
+                    &mut outages,
+                );
+            }
+        }
+        for (k, rack) in self.racks.iter().enumerate() {
+            if !rack.mtbf_min.is_finite() || rack.servers.is_empty() {
+                continue;
+            }
+            let mut rng = self.stream_rng(0x2ACC_0000 + k as u64);
+            draw_renewal_outages(
+                &mut rng,
+                rack.mtbf_min,
+                rack.mttr_min,
+                horizon_min,
+                &rack.servers,
+                &mut outages,
+            );
+        }
+        FailurePlan::merged(outages)
+    }
+
+    /// One independent, order-insensitive RNG stream per entity.
+    fn stream_rng(&self, stream: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(
+            self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        )
+    }
+}
+
+/// Samples an exponential with the given mean. `u ∈ [0, 1)` so
+/// `1 - u ∈ (0, 1]` and the log is finite.
+fn sample_exp(rng: &mut ChaCha8Rng, mean_min: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean_min * (1.0 - u).ln()
+}
+
+/// Walks one alternating up/down renewal process over `[0, horizon)`,
+/// appending one outage per failure for each server in `servers`.
+fn draw_renewal_outages(
+    rng: &mut ChaCha8Rng,
+    mtbf_min: f64,
+    mttr_min: f64,
+    horizon_min: f64,
+    servers: &[ServerId],
+    out: &mut Vec<Outage>,
+) {
+    let mut t = 0.0f64;
+    loop {
+        let down = t + sample_exp(rng, mtbf_min);
+        if down >= horizon_min {
+            break;
+        }
+        let up = down + sample_exp(rng, mttr_min);
+        // An outage running past the horizon is permanent for the run.
+        let up_at_min = (up < horizon_min).then_some(up);
+        for &server in servers {
+            out.push(Outage {
+                server,
+                down_at_min: down,
+                up_at_min,
+            });
+        }
+        match up_at_min {
+            Some(up) => t = up,
+            None => break,
+        }
     }
 }
 
@@ -191,11 +431,190 @@ mod tests {
             },
         ])
         .is_ok());
+        // Overlap hiding between non-adjacent entries of the time-sorted
+        // order (another server's outage sorts in between).
+        assert!(FailurePlan::new(vec![
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: Some(40.0),
+            },
+            Outage {
+                server: ServerId(1),
+                down_at_min: 15.0,
+                up_at_min: Some(16.0),
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 20.0,
+                up_at_min: Some(25.0),
+            },
+        ])
+        .is_err());
     }
 
     #[test]
     fn empty_plan() {
         assert!(FailurePlan::none().is_empty());
         assert!(FailurePlan::none().transitions().is_empty());
+    }
+
+    #[test]
+    fn merged_coalesces_overlaps() {
+        let plan = FailurePlan::merged(vec![
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: Some(30.0),
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 20.0,
+                up_at_min: Some(40.0),
+            },
+            Outage {
+                server: ServerId(1),
+                down_at_min: 5.0,
+                up_at_min: Some(6.0),
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.outages().len(), 2);
+        let s0 = plan
+            .outages()
+            .iter()
+            .find(|o| o.server == ServerId(0))
+            .unwrap();
+        assert_eq!((s0.down_at_min, s0.up_at_min), (10.0, Some(40.0)));
+    }
+
+    #[test]
+    fn merged_absorbs_permanent() {
+        let plan = FailurePlan::merged(vec![
+            Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: None,
+            },
+            Outage {
+                server: ServerId(0),
+                down_at_min: 50.0,
+                up_at_min: Some(60.0),
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.outages().len(), 1);
+        assert_eq!(plan.outages()[0].up_at_min, None);
+    }
+
+    #[test]
+    fn validate_servers_bounds() {
+        let plan = FailurePlan::new(vec![Outage {
+            server: ServerId(7),
+            down_at_min: 1.0,
+            up_at_min: None,
+        }])
+        .unwrap();
+        assert!(plan.validate_servers(8).is_ok());
+        assert_eq!(
+            plan.validate_servers(7),
+            Err(ModelError::UnknownServer(ServerId(7)))
+        );
+    }
+
+    #[test]
+    fn model_is_deterministic_per_seed() {
+        let model = FailureModel::exponential(120.0, 15.0, 42);
+        let a = model.compile(8, 90.0).unwrap();
+        let b = model.compile(8, 90.0).unwrap();
+        assert_eq!(a, b);
+        let c = FailureModel::exponential(120.0, 15.0, 43)
+            .compile(8, 90.0)
+            .unwrap();
+        assert_ne!(a, c, "different seeds should draw different outages");
+    }
+
+    #[test]
+    fn model_outages_inside_horizon() {
+        let model = FailureModel::exponential(30.0, 10.0, 7);
+        let plan = model.compile(8, 90.0).unwrap();
+        assert!(!plan.is_empty(), "MTBF 30 over 90 min should fail someone");
+        for o in plan.outages() {
+            assert!(o.down_at_min >= 0.0 && o.down_at_min < 90.0);
+            if let Some(up) = o.up_at_min {
+                assert!(up < 90.0);
+            }
+        }
+        plan.validate_servers(8).unwrap();
+    }
+
+    #[test]
+    fn infinite_mtbf_means_rack_only() {
+        let model = FailureModel {
+            mtbf_min: f64::INFINITY,
+            mttr_min: 10.0,
+            seed: 1,
+            racks: vec![RackFailures {
+                servers: vec![ServerId(0), ServerId(1)],
+                mtbf_min: 20.0,
+                mttr_min: 5.0,
+            }],
+        };
+        let plan = model.compile(4, 90.0).unwrap();
+        assert!(!plan.is_empty());
+        // Every drawn outage hits a rack member, and members fail in pairs.
+        for o in plan.outages() {
+            assert!(o.server.index() <= 1);
+        }
+        let downs_s0: Vec<f64> = plan
+            .outages()
+            .iter()
+            .filter(|o| o.server == ServerId(0))
+            .map(|o| o.down_at_min)
+            .collect();
+        let downs_s1: Vec<f64> = plan
+            .outages()
+            .iter()
+            .filter(|o| o.server == ServerId(1))
+            .map(|o| o.down_at_min)
+            .collect();
+        assert_eq!(downs_s0, downs_s1, "rack members fail together");
+    }
+
+    #[test]
+    fn model_validation_rejects_bad_parameters() {
+        assert!(FailureModel::exponential(0.0, 10.0, 1).validate(4).is_err());
+        assert!(FailureModel::exponential(10.0, 0.0, 1).validate(4).is_err());
+        assert!(FailureModel::exponential(10.0, f64::INFINITY, 1)
+            .validate(4)
+            .is_err());
+        let bad_rack = FailureModel {
+            mtbf_min: f64::INFINITY,
+            mttr_min: 1.0,
+            seed: 0,
+            racks: vec![RackFailures {
+                servers: vec![ServerId(9)],
+                mtbf_min: 10.0,
+                mttr_min: 1.0,
+            }],
+        };
+        assert_eq!(
+            bad_rack.validate(4),
+            Err(ModelError::UnknownServer(ServerId(9)))
+        );
+    }
+
+    #[test]
+    fn overlap_check_scales_past_hundreds_of_outages() {
+        // 600 back-to-back outages on one server: valid, and fast with the
+        // adjacent-pair check.
+        let outages: Vec<Outage> = (0..600)
+            .map(|k| Outage {
+                server: ServerId(0),
+                down_at_min: k as f64,
+                up_at_min: Some(k as f64 + 1.0),
+            })
+            .collect();
+        assert!(FailurePlan::new(outages).is_ok());
     }
 }

@@ -18,7 +18,10 @@
 //! * [`dispatch`] — admission policies: the paper's strict static
 //!   round-robin, plus least-loaded-replica, round-robin failover, and the
 //!   backbone-redirection extension of the authors' follow-up work \[19\];
-//! * [`failure`] — injected server outages (availability experiments);
+//! * [`failure`] — injected server outages (availability experiments) and
+//!   the stochastic MTBF/MTTR fault model (recovery experiments);
+//! * [`repair`] — mid-run re-replication of lost redundancy and the
+//!   stream-failover policies (resume / graceful degradation);
 //! * [`striping`] — the wide-striping comparator architecture the paper
 //!   argues against (perfect balance, full failure coupling);
 //! * [`metrics`] — rejection accounting and load-imbalance sampling;
@@ -62,13 +65,15 @@ pub mod engine;
 pub mod event;
 pub mod failure;
 pub mod metrics;
+pub mod repair;
 pub mod server;
 pub mod striping;
 pub mod time;
 
 pub use dispatch::AdmissionPolicy;
 pub use engine::{SimConfig, Simulation};
-pub use failure::{FailurePlan, Outage};
+pub use failure::{FailureModel, FailurePlan, Outage, RackFailures};
 pub use metrics::SimReport;
+pub use repair::{FailoverPolicy, RepairConfig};
 pub use striping::{StripedConfig, StripedSimulation};
 pub use time::SimTime;

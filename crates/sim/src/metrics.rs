@@ -27,6 +27,13 @@ pub struct MetricsCollector {
     rejected: u64,
     redirected: u64,
     disrupted: u64,
+    resumed: u64,
+    degraded: u64,
+    repair_bytes_copied: u64,
+    repair_copies: u64,
+    time_to_redundancy_min: f64,
+    redundancy_deficit_video_min: f64,
+    unavailability_video_min: f64,
     per_video_arrivals: Vec<u64>,
     per_video_rejections: Vec<u64>,
     imbalance_cv_sum: f64,
@@ -50,6 +57,13 @@ impl MetricsCollector {
             rejected: 0,
             redirected: 0,
             disrupted: 0,
+            resumed: 0,
+            degraded: 0,
+            repair_bytes_copied: 0,
+            repair_copies: 0,
+            time_to_redundancy_min: 0.0,
+            redundancy_deficit_video_min: 0.0,
+            unavailability_video_min: 0.0,
             per_video_arrivals: vec![0; n_videos],
             per_video_rejections: vec![0; n_videos],
             imbalance_cv_sum: 0.0,
@@ -96,6 +110,40 @@ impl MetricsCollector {
         self.disrupted += count;
     }
 
+    /// Records `count` streams migrated to a surviving replica holder at
+    /// full rate after their server failed.
+    pub fn on_resumed(&mut self, count: u64) {
+        self.resumed += count;
+    }
+
+    /// Records `count` streams that continued at a reduced bit rate after
+    /// their server failed (graceful degradation).
+    pub fn on_degraded(&mut self, count: u64) {
+        self.degraded += count;
+    }
+
+    /// Arrivals observed so far, per video (used as demand weights when
+    /// re-planning replica placement mid-run).
+    pub fn per_video_arrivals(&self) -> &[u64] {
+        &self.per_video_arrivals
+    }
+
+    /// Stores the repair controller's end-of-run accounting.
+    pub fn set_recovery_stats(
+        &mut self,
+        bytes_copied: u64,
+        copies: u64,
+        time_to_redundancy_min: f64,
+        redundancy_deficit_video_min: f64,
+        unavailability_video_min: f64,
+    ) {
+        self.repair_bytes_copied = bytes_copied;
+        self.repair_copies = copies;
+        self.time_to_redundancy_min = time_to_redundancy_min;
+        self.redundancy_deficit_video_min = redundancy_deficit_video_min;
+        self.unavailability_video_min = unavailability_video_min;
+    }
+
     /// Takes a load sample: `stream_loads` are per-server concurrent
     /// stream counts at minute `now_min`.
     pub fn sample_loads(&mut self, stream_loads: &[f64], now_min: f64) {
@@ -134,6 +182,13 @@ impl MetricsCollector {
             rejected: self.rejected,
             redirected: self.redirected,
             disrupted: self.disrupted,
+            resumed: self.resumed,
+            degraded: self.degraded,
+            repair_bytes_copied: self.repair_bytes_copied,
+            repair_copies: self.repair_copies,
+            time_to_redundancy_min: self.time_to_redundancy_min,
+            redundancy_deficit_video_min: self.redundancy_deficit_video_min,
+            unavailability_video_min: self.unavailability_video_min,
             rejection_rate: if self.arrivals == 0 {
                 0.0
             } else {
@@ -169,6 +224,34 @@ pub struct SimReport {
     pub redirected: u64,
     /// Admitted streams killed mid-playback by injected server failures.
     pub disrupted: u64,
+    /// Streams migrated to a surviving replica at full rate after their
+    /// server failed (zero unless stream failover is enabled).
+    #[serde(default)]
+    pub resumed: u64,
+    /// Streams that continued at a reduced bit rate after their server
+    /// failed (zero unless graceful degradation is enabled).
+    #[serde(default)]
+    pub degraded: u64,
+    /// Bytes of replica data copied by mid-run repair.
+    #[serde(default)]
+    pub repair_bytes_copied: u64,
+    /// Replica copies completed by mid-run repair.
+    #[serde(default)]
+    pub repair_copies: u64,
+    /// Minutes during which at least one video sat below its replication
+    /// target (time to full redundancy, summed over deficit windows).
+    /// Under popularity-skewed replication the single-replica cold tail
+    /// pins this union to the outage union (those videos cannot be
+    /// rebuilt while their only holder is down).
+    #[serde(default)]
+    pub time_to_redundancy_min: f64,
+    /// Video·minutes below replication target — the replica-deficit
+    /// integral mid-run repair drains copy by copy.
+    #[serde(default)]
+    pub redundancy_deficit_video_min: f64,
+    /// Video·minutes with zero servable replicas.
+    #[serde(default)]
+    pub unavailability_video_min: f64,
     /// `rejected / arrivals` — the paper's primary metric.
     pub rejection_rate: f64,
     /// Time-averaged Eq. (3) load-imbalance degree (coefficient of

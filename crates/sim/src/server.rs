@@ -17,6 +17,7 @@ use vod_model::{ClusterSpec, ServerId};
 pub struct LinkState {
     capacity_kbps: Vec<u64>,
     used_kbps: Vec<u64>,
+    repair_kbps: Vec<u64>,
     streams: Vec<u32>,
     up: Vec<bool>,
     epoch: Vec<u32>,
@@ -30,6 +31,7 @@ impl LinkState {
         LinkState {
             capacity_kbps,
             used_kbps: vec![0; n],
+            repair_kbps: vec![0; n],
             streams: vec![0; n],
             up: vec![true; n],
             epoch: vec![0; n],
@@ -55,6 +57,7 @@ impl LinkState {
         let dropped = self.streams[j];
         self.streams[j] = 0;
         self.used_kbps[j] = 0;
+        self.repair_kbps[j] = 0;
         self.up[j] = false;
         self.epoch[j] += 1;
         dropped
@@ -78,20 +81,23 @@ impl LinkState {
     }
 
     /// Whether `server` is up and can admit one more stream of `kbps`.
+    /// Repair traffic counts against the link, so an aggressive rebuild
+    /// squeezes out admissions.
     #[inline]
     pub fn can_admit(&self, server: ServerId, kbps: u64) -> bool {
         let j = server.index();
-        self.up[j] && self.used_kbps[j] + kbps <= self.capacity_kbps[j]
+        self.up[j] && self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]
     }
 
-    /// Free outgoing bandwidth on `server`, in kbps (0 while down).
+    /// Free outgoing bandwidth on `server`, in kbps (0 while down), net
+    /// of any repair-copy reservations.
     #[inline]
     pub fn free_kbps(&self, server: ServerId) -> u64 {
         let j = server.index();
         if !self.up[j] {
             return 0;
         }
-        self.capacity_kbps[j] - self.used_kbps[j]
+        self.capacity_kbps[j] - self.used_kbps[j] - self.repair_kbps[j]
     }
 
     /// Admits a stream; panics in debug builds if capacity would be
@@ -99,9 +105,39 @@ impl LinkState {
     #[inline]
     pub fn admit(&mut self, server: ServerId, kbps: u64) {
         let j = server.index();
-        debug_assert!(self.used_kbps[j] + kbps <= self.capacity_kbps[j]);
+        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]);
         self.used_kbps[j] += kbps;
         self.streams[j] += 1;
+    }
+
+    /// Reserves `kbps` of repair-copy bandwidth on `server`'s link.
+    /// Callers must check [`Self::free_kbps`] first; repair shares the
+    /// link with streaming, it does not get a separate pool.
+    #[inline]
+    pub fn reserve_repair(&mut self, server: ServerId, kbps: u64) {
+        let j = server.index();
+        debug_assert!(self.up[j]);
+        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]);
+        self.repair_kbps[j] += kbps;
+    }
+
+    /// Releases a repair-copy reservation (copy finished or aborted).
+    /// A no-op for a server that failed meanwhile — `fail()` already
+    /// cleared its reservations.
+    #[inline]
+    pub fn release_repair(&mut self, server: ServerId, kbps: u64) {
+        let j = server.index();
+        if !self.up[j] {
+            return;
+        }
+        debug_assert!(self.repair_kbps[j] >= kbps);
+        self.repair_kbps[j] -= kbps;
+    }
+
+    /// Current per-server repair-copy reservations in kbps.
+    #[inline]
+    pub fn repair_kbps(&self) -> &[u64] {
+        &self.repair_kbps
     }
 
     /// Releases a completed stream.
@@ -140,8 +176,9 @@ impl LinkState {
     pub fn within_capacity(&self) -> bool {
         self.used_kbps
             .iter()
+            .zip(&self.repair_kbps)
             .zip(&self.capacity_kbps)
-            .all(|(&u, &c)| u <= c)
+            .all(|((&u, &r), &c)| u + r <= c)
     }
 }
 
@@ -225,6 +262,30 @@ mod tests {
         let mut l = links(2, 10_000);
         l.admit(ServerId(1), 1_000);
         assert_eq!(l.stream_loads(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn repair_reservation_competes_with_streaming() {
+        let mut l = links(1, 10_000);
+        l.reserve_repair(ServerId(0), 8_000);
+        assert_eq!(l.free_kbps(ServerId(0)), 2_000);
+        assert!(!l.can_admit(ServerId(0), 4_000));
+        assert!(l.can_admit(ServerId(0), 2_000));
+        l.release_repair(ServerId(0), 8_000);
+        assert!(l.can_admit(ServerId(0), 10_000));
+        assert!(l.within_capacity());
+    }
+
+    #[test]
+    fn failure_clears_repair_reservation() {
+        let mut l = links(1, 10_000);
+        l.reserve_repair(ServerId(0), 4_000);
+        l.fail(ServerId(0));
+        assert_eq!(l.repair_kbps()[0], 0);
+        // Releasing after the failure must not underflow.
+        l.release_repair(ServerId(0), 4_000);
+        l.recover(ServerId(0));
+        assert_eq!(l.free_kbps(ServerId(0)), 10_000);
     }
 
     #[test]

@@ -92,11 +92,7 @@ impl<'a> StripedSimulation<'a> {
                 value: config.sample_interval_min,
             });
         }
-        for o in config.failures.outages() {
-            if o.server.index() >= cluster.len() {
-                return Err(ModelError::UnknownServer(o.server));
-            }
-        }
+        config.failures.validate_servers(cluster.len())?;
         let single_copy = catalog.single_copy_storage_bytes();
         let total = cluster.total_storage_bytes();
         if single_copy > total {

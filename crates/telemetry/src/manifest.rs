@@ -78,12 +78,14 @@ impl RunRecord {
     /// Copies counters from a snapshot, and turns its span histograms
     /// into phase timings (total seconds per span, appended in name
     /// order after any explicit phases). Histograms named `*_per_sec`
-    /// hold observed rates, not durations, and are skipped.
+    /// hold observed rates and histograms named `*_min` hold
+    /// simulated-time integrals (e.g. `sim.repair.time_to_redundancy_min`);
+    /// neither is wall time, so both are skipped.
     pub fn with_snapshot(mut self, snapshot: &Snapshot) -> Self {
         self.counters
             .extend(snapshot.counters.iter().map(|(name, &v)| (name.clone(), v)));
         for (name, stats) in &snapshot.histograms {
-            if name.ends_with("_per_sec") {
+            if name.ends_with("_per_sec") || name.ends_with("_min") {
                 continue;
             }
             self.phases.push(PhaseTiming {
@@ -190,6 +192,19 @@ mod tests {
         assert!(record.phases.iter().any(|p| p.name == "sim.run"));
         // Rate histograms are not wall time; they must not become phases.
         assert!(!record.phases.iter().any(|p| p.name.ends_with("_per_sec")));
+    }
+
+    #[test]
+    fn simulated_time_histograms_do_not_become_phases() {
+        let telemetry = Telemetry::enabled();
+        drop(telemetry.span("sim.run"));
+        // Simulated minutes, not wall seconds.
+        telemetry
+            .histogram("sim.repair.time_to_redundancy_min")
+            .observe(42.0);
+        let record = RunRecord::new("x", 1).with_snapshot(&telemetry.snapshot());
+        assert!(record.phases.iter().any(|p| p.name == "sim.run"));
+        assert!(!record.phases.iter().any(|p| p.name.ends_with("_min")));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use vod_core::prelude::*;
 use vod_core::{AdaptiveConfig, AdaptiveRunner, ReplanStrategy};
 use vod_model::ServerId;
-use vod_sim::{FailurePlan, Outage};
+use vod_sim::{FailoverPolicy, FailureModel, FailurePlan, Outage, RepairConfig};
 use vod_workload::drift::{RankRotation, Stationary};
 
 fn planner(m: usize, slots: u64) -> ClusterPlanner {
@@ -236,4 +236,136 @@ fn adaptive_runner_is_harmless_without_drift() {
         // Sampling noise only: the EWMA estimate stays near the truth.
         assert!(d.estimate_tv < 0.15, "day {} tv {}", d.day, d.estimate_tv);
     }
+}
+
+#[test]
+fn failure_model_runs_are_byte_identical_across_reruns() {
+    // Identical seeds must give bit-identical reports even with the full
+    // recovery stack engaged: stochastic faults, failover with
+    // degradation, and active repair.
+    let p = planner(60, 16);
+    let plan = p
+        .plan(
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        )
+        .unwrap();
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(506);
+        TraceGenerator::new(30.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+    // Roomier storage than the exact-fit plan so repair can place copies.
+    let sim_cluster = ClusterSpec::paper_default(20);
+    let config = SimConfig {
+        policy: AdmissionPolicy::RoundRobinFailover,
+        failure_model: Some(FailureModel::exponential(45.0, 12.0, 0xF00D)),
+        repair: RepairConfig {
+            bandwidth_kbps: 80_000,
+            max_concurrent: 4,
+        },
+        failover: FailoverPolicy::ResumeOrDegrade,
+        ..SimConfig::default()
+    };
+    let run = || {
+        Simulation::new(p.catalog(), &sim_cluster, &plan.layout, config.clone())
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    assert!(a.disrupted + a.resumed + a.degraded > 0);
+    assert!(a.repair_bytes_copied > 0, "repair must engage in this run");
+    assert!(a.is_conservative());
+}
+
+#[test]
+fn zero_repair_bandwidth_is_exactly_the_passive_run() {
+    // bandwidth_kbps = 0 must reproduce the no-repair engine behavior
+    // byte for byte, whatever the concurrency knob says.
+    let p = planner(60, 14);
+    let plan = p
+        .plan(
+            ReplicationAlgo::ZipfInterval,
+            PlacementAlgo::SmallestLoadFirst,
+        )
+        .unwrap();
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(507);
+        TraceGenerator::new(30.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+    let run = |repair: RepairConfig| {
+        let config = SimConfig {
+            policy: AdmissionPolicy::RoundRobinFailover,
+            failure_model: Some(FailureModel::exponential(60.0, 15.0, 0xBEEF)),
+            repair,
+            failover: FailoverPolicy::Resume,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        serde_json::to_string(&report).unwrap()
+    };
+    let passive = run(RepairConfig::default());
+    assert_eq!(
+        passive,
+        run(RepairConfig {
+            bandwidth_kbps: 0,
+            max_concurrent: 1
+        })
+    );
+    assert_eq!(
+        passive,
+        run(RepairConfig {
+            bandwidth_kbps: 0,
+            max_concurrent: 64
+        })
+    );
+}
+
+#[test]
+fn failover_strictly_beats_unconditional_kill() {
+    let p = planner(80, 20); // uniform degree 2: every video has a backup
+    let plan = p
+        .plan(ReplicationAlgo::Uniform, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(508);
+        TraceGenerator::new(20.0, p.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng)
+    };
+    let run = |failover: FailoverPolicy| {
+        let config = SimConfig {
+            policy: AdmissionPolicy::RoundRobinFailover,
+            failures: outage_at(2, 30.0, Some(60.0)),
+            failover,
+            ..SimConfig::default()
+        };
+        Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+    };
+    let kill = run(FailoverPolicy::Kill);
+    let rescue = run(FailoverPolicy::ResumeOrDegrade);
+    assert!(kill.disrupted > 0);
+    assert_eq!(kill.resumed + kill.degraded, 0);
+    assert!(rescue.resumed + rescue.degraded > 0);
+    assert!(
+        rescue.disrupted < kill.disrupted,
+        "failover {} must beat kill {}",
+        rescue.disrupted,
+        kill.disrupted
+    );
 }
