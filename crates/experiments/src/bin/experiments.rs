@@ -21,6 +21,7 @@
 //!   recovery  online failure recovery under stochastic faults (A-4)
 //!   sa2       multi-rate replica extension, objective ablation (SA-2)
 //!   striping  striping-vs-replication architectural comparison (A-5)
+//!   overload  admission queueing, retries and brownouts under overload (A-6)
 //!   perf-smoke  pinned-size throughput measurement (N = 8, M = 200,
 //!               fixed seed); prints one machine-readable PERF_SMOKE line
 //!
@@ -36,8 +37,8 @@ use vod_experiments::report::Reporter;
 use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
 use vod_experiments::{
-    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, quality, recovery,
-    sa, sa_multirate, striping,
+    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload, quality,
+    recovery, sa, sa_multirate, striping,
 };
 use vod_sim::AdmissionPolicy;
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
@@ -69,7 +70,15 @@ fn parse_args() -> Result<Args, String> {
             "--no-files" => args.no_files = true,
             "--runs" => {
                 let v = iter.next().ok_or("--runs needs a value")?;
-                args.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
+                let runs: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --runs value `{v}`: expected a positive integer"))?;
+                if runs == 0 {
+                    return Err(
+                        "--runs 0 would average over nothing; pass a positive run count".into(),
+                    );
+                }
+                args.runs = Some(runs);
             }
             "--out" => {
                 args.out = Some(iter.next().ok_or("--out needs a value")?);
@@ -113,6 +122,7 @@ const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
     ("recovery", 0x4EC0, recovery::run),
     ("sa2", 0x5A21, sa_multirate::run),
     ("striping", 0xA4, striping::run),
+    ("overload", 0x0AD6, overload::run),
 ];
 
 /// Builds the manifest record for one finished experiment: pinned
@@ -245,7 +255,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|perf-smoke> \
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|perf-smoke> \
                  [--fast] [--runs N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
             );
             return ExitCode::FAILURE;
@@ -285,7 +295,14 @@ fn main() -> ExitCode {
             let one = EXPERIMENTS
                 .iter()
                 .find(|(name, _, _)| *name == args.command)
-                .ok_or_else(|| format!("unknown command: {}", args.command))?;
+                .ok_or_else(|| {
+                    let known: Vec<&str> = EXPERIMENTS.iter().map(|(n, _, _)| *n).collect();
+                    format!(
+                        "unknown command `{}`; expected one of: all, {}, perf-smoke",
+                        args.command,
+                        known.join(", ")
+                    )
+                })?;
             vec![one]
         };
         let mut writer = match &args.metrics {

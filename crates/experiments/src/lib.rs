@@ -22,6 +22,7 @@
 //! | recovery | [`recovery`] | online failure recovery under stochastic faults (A-4) |
 //! | sa2 | [`sa_multirate`] | multi-rate replica extension, objective ablation (SA-2) |
 //! | striping | [`striping`] | striping-vs-replication architectural comparison (A-5) |
+//! | overload | [`overload`] | admission queueing, retries and brownouts under overload (A-6) |
 //!
 //! All simulation experiments average over seeded runs fanned out across
 //! OS threads ([`runner`]); outputs go to stdout as aligned tables and to
@@ -41,6 +42,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod overload;
 pub mod quality;
 pub mod recovery;
 pub mod report;

@@ -80,6 +80,20 @@ pub enum ModelError {
         /// Replica slots (or bytes) available across the cluster.
         capacity: u64,
     },
+    /// An engine reached a state its own bookkeeping rules out — a bug,
+    /// not a bad input. Surfaced instead of panicking in the hot path.
+    Internal {
+        /// Which internal precondition failed.
+        context: &'static str,
+    },
+    /// The runtime invariant auditor caught a conservation or capacity
+    /// violation mid-run (see DESIGN.md, "Invariant auditor").
+    InvariantViolation {
+        /// Simulated minute at which the violation was detected.
+        at_min: f64,
+        /// Description of the violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -134,6 +148,12 @@ impl fmt::Display for ModelError {
                 f,
                 "cluster storage too small: {required} replica slots needed, {capacity} available"
             ),
+            ModelError::Internal { context } => {
+                write!(f, "internal simulator error: {context}")
+            }
+            ModelError::InvariantViolation { at_min, what } => {
+                write!(f, "invariant violated at t={at_min:.3} min: {what}")
+            }
         }
     }
 }

@@ -195,9 +195,12 @@ impl Dispatcher {
     }
 
     /// Returns backbone bandwidth when a redirected stream completes.
+    /// Saturating in release builds: an over-release is a bug (the debug
+    /// assertion and the runtime auditor both catch it) but must not take
+    /// the whole run down with an integer underflow.
     pub fn release_backbone(&mut self, kbps: u64) {
         debug_assert!(self.backbone_used_kbps >= kbps);
-        self.backbone_used_kbps -= kbps;
+        self.backbone_used_kbps = self.backbone_used_kbps.saturating_sub(kbps);
     }
 
     /// Charges a repair copy's inter-server traffic to the backbone pool

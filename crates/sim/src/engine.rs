@@ -16,16 +16,23 @@
 //! earlier — a deliberate, documented simplification (the backbone pool
 //! is shared, so the error is a short-lived over-reservation).
 
+use crate::admission::{AdmissionConfig, AdmissionState, PendingRequest};
+use crate::audit::{Auditor, Ledger};
 use crate::dispatch::{AdmissionPolicy, Decision, Dispatcher};
 use crate::event::{Departure, DepartureQueue};
-use crate::failure::{FailureModel, FailurePlan, Transition};
+use crate::failure::{FailureModel, FailurePlan, Transition, TransitionKind};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::repair::{FailoverPolicy, RepairConfig, RepairController};
 use crate::server::LinkState;
 use crate::time::SimTime;
 use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ModelError, ServerId, VideoId};
-use vod_telemetry::{Counter, Telemetry};
+use vod_telemetry::{Counter, Histogram, Telemetry};
 use vod_workload::Trace;
+
+/// Epoch sentinel for departures that were already shed by a brownout:
+/// real epochs start at 0 and bump once per failure, so `u32::MAX` never
+/// matches and the pop releases only the backbone reservation.
+const SHED_EPOCH: u32 = u32::MAX;
 
 /// Run-time knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +57,14 @@ pub struct SimConfig {
     /// Record the full per-sample load series in the report (off by
     /// default; used for plotting Figure-6-style time series).
     pub record_series: bool,
+    /// Overload admission pipeline: wait queue, patience, retries. The
+    /// default ([`AdmissionConfig::default`]) is fully passive and
+    /// byte-identical to the pre-pipeline blocking engine.
+    pub admission: AdmissionConfig,
+    /// Run the invariant auditor in release builds too (debug builds
+    /// always audit). Auditing only reads state: it never changes a
+    /// run's outcome, only whether a corrupted run fails fast.
+    pub audit: bool,
 }
 
 impl Default for SimConfig {
@@ -66,6 +81,8 @@ impl Default for SimConfig {
             repair: RepairConfig::default(),
             failover: FailoverPolicy::Kill,
             record_series: false,
+            admission: AdmissionConfig::default(),
+            audit: false,
         }
     }
 }
@@ -123,6 +140,7 @@ impl<'a> Simulation<'a> {
         if let Some(model) = &config.failure_model {
             model.validate(cluster.len())?;
         }
+        config.admission.validate()?;
         layout.validate_storage(catalog, cluster)?;
         Ok(Simulation {
             catalog,
@@ -155,7 +173,12 @@ impl<'a> Simulation<'a> {
     /// recovery active, additionally: counters `sim.streams.resumed`,
     /// `sim.streams.degraded`, `sim.repair.bytes_copied`,
     /// `sim.repair.copies`; histogram `sim.repair.time_to_redundancy_min`
-    /// (one observation per run).
+    /// (one observation per run). With the admission pipeline or
+    /// brownouts active, additionally: counters `sim.admission.queued`,
+    /// `sim.admission.retried`, `sim.admission.abandoned`,
+    /// `sim.admission.degraded`, `sim.brownout.active_min`; histogram
+    /// `sim.admission.wait_min_pctl` (one observation per served
+    /// request).
     pub fn run_with_telemetry(
         &self,
         trace: &Trace,
@@ -173,6 +196,11 @@ impl<'a> Simulation<'a> {
             degraded: telemetry.counter("sim.streams.degraded"),
             transitions: telemetry.counter("sim.transitions"),
             samples: telemetry.counter("sim.samples"),
+            queued: telemetry.counter("sim.admission.queued"),
+            retried: telemetry.counter("sim.admission.retried"),
+            abandoned: telemetry.counter("sim.admission.abandoned"),
+            adm_degraded: telemetry.counter("sim.admission.degraded"),
+            wait_min: telemetry.histogram("sim.admission.wait_min_pctl"),
         };
         // Counters are cumulative across runs sharing this handle; this
         // run's event count is the delta over the starting values.
@@ -182,12 +210,12 @@ impl<'a> Simulation<'a> {
         // draws for this horizon (deterministic per the model's seed).
         let plan = match &self.config.failure_model {
             Some(model) => {
-                let mut outages = model
-                    .compile(self.cluster.len(), self.config.horizon_min)?
-                    .outages()
-                    .to_vec();
+                let compiled = model.compile(self.cluster.len(), self.config.horizon_min)?;
+                let mut outages = compiled.outages().to_vec();
                 outages.extend_from_slice(self.config.failures.outages());
-                FailurePlan::merged(outages)?
+                let mut brownouts = compiled.brownouts().to_vec();
+                brownouts.extend_from_slice(self.config.failures.brownouts());
+                FailurePlan::merged(outages)?.add_brownouts(brownouts)?
             }
             None => self.config.failures.clone(),
         };
@@ -219,12 +247,16 @@ impl<'a> Simulation<'a> {
             sample_step: self.config.sample_interval_min,
             horizon: self.config.horizon_min,
             failover: self.config.failover,
+            admission: AdmissionState::new(&self.config.admission),
+            auditor: (cfg!(debug_assertions) || self.config.audit).then(Auditor::new),
+            brownout_started: vec![None; self.cluster.len()],
+            brownout_min: 0.0,
         };
         state.metrics.record_series(self.config.record_series);
 
         for req in trace.requests() {
             let t = SimTime::from_min(req.arrival_min);
-            state.advance_to(t, &ct);
+            state.advance_to(t, &ct)?;
 
             let video = self
                 .catalog
@@ -234,45 +266,29 @@ impl<'a> Simulation<'a> {
 
             ct.arrivals.inc();
             state.metrics.on_arrival(req.video.index());
-            let replicas = match &state.controller {
-                Some(c) => c.holders(req.video),
-                None => self.layout.replicas_of(req.video),
-            };
-            match state
-                .dispatcher
-                .dispatch(req.video, kbps, replicas, &state.links)
-            {
-                Decision::Admit {
-                    server,
-                    backbone_kbps,
-                } => {
-                    state.links.admit(server, kbps);
-                    ct.admitted.inc();
-                    if backbone_kbps > 0 {
-                        ct.redirected.inc();
-                    }
-                    state.metrics.on_admit(backbone_kbps > 0);
-                    state.departures.push(Departure {
-                        at: t + SimTime::from_secs(video.duration_s),
-                        server,
-                        video: req.video,
-                        kbps,
-                        backbone_kbps,
-                        epoch: state.links.epoch(server),
-                    });
-                }
-                Decision::Reject => {
-                    ct.rejected.inc();
-                    state.metrics.on_reject(req.video.index());
-                }
-            }
+            state
+                .metrics
+                .on_offered(kbps as f64 * video.duration_s as f64 / 60.0);
+            state.handle_request(
+                t,
+                PendingRequest {
+                    video: req.video,
+                    kbps,
+                    duration_s: video.duration_s,
+                    arrived: t,
+                    retries_left: self.config.admission.max_retries,
+                    attempt: 0,
+                },
+                &ct,
+            );
+            state.audit_check(t)?;
             debug_assert!(state.links.within_capacity());
         }
 
         // Tail: run the remaining background events out to the horizon,
         // abort any still-in-flight repair copies (releasing their
         // reservations), then retire whatever still streams past it.
-        state.advance_to(SimTime::from_min(self.config.horizon_min), &ct);
+        state.advance_to(SimTime::from_min(self.config.horizon_min), &ct)?;
         if let Some(c) = state.controller.as_mut() {
             c.finish(
                 self.config.horizon_min,
@@ -280,6 +296,21 @@ impl<'a> Simulation<'a> {
                 &mut state.dispatcher,
             );
         }
+        // Requests the pipeline still owes an outcome at the horizon
+        // (queued or sleeping until a retry) count as abandoned: the peak
+        // period ended before they were served.
+        for _ in state.admission.drain_remaining() {
+            ct.abandoned.inc();
+            state.metrics.on_abandoned();
+        }
+        // Close brownout windows still open at the horizon.
+        for j in 0..state.brownout_started.len() {
+            if let Some(start) = state.brownout_started[j].take() {
+                state.brownout_min += (self.config.horizon_min - start.as_min()).max(0.0);
+            }
+        }
+        state.metrics.set_brownout_active_min(state.brownout_min);
+        state.audit_check(SimTime::from_min(self.config.horizon_min))?;
         for d in state.departures.drain_all() {
             ct.departures.inc();
             if state.links.epoch(d.server) == d.epoch {
@@ -311,6 +342,11 @@ impl<'a> Simulation<'a> {
                 .observe(c.deficit_min());
         }
 
+        if state.brownout_min > 0.0 {
+            telemetry
+                .counter("sim.brownout.active_min")
+                .add(state.brownout_min.ceil() as u64);
+        }
         telemetry
             .counter("sim.admission_probes")
             .add(state.dispatcher.admission_probes());
@@ -341,12 +377,22 @@ struct EngineCounters {
     degraded: Counter,
     transitions: Counter,
     samples: Counter,
+    queued: Counter,
+    retried: Counter,
+    abandoned: Counter,
+    adm_degraded: Counter,
+    wait_min: Histogram,
 }
 
 impl EngineCounters {
     /// Total events recorded on this handle set (cumulative across runs).
     fn events(&self) -> u64 {
-        self.arrivals.get() + self.departures.get() + self.transitions.get() + self.samples.get()
+        self.arrivals.get()
+            + self.departures.get()
+            + self.transitions.get()
+            + self.samples.get()
+            + self.retried.get()
+            + self.abandoned.get()
     }
 }
 
@@ -372,22 +418,29 @@ struct RunState<'a> {
     sample_step: f64,
     horizon: f64,
     failover: FailoverPolicy,
+    admission: AdmissionState,
+    auditor: Option<Auditor>,
+    /// Per-server brownout start instant, `Some` while one is active.
+    brownout_started: Vec<Option<SimTime>>,
+    /// Accumulated server·minutes of brownout (closed windows).
+    brownout_min: f64,
 }
 
 impl RunState<'_> {
     /// Processes every background event (departure / repair completion /
-    /// transition / sample) with an instant <= `t`, in time order; ties
-    /// break departure-first, then repair completion, then transition,
-    /// then sample.
-    fn advance_to(&mut self, t: SimTime, ct: &EngineCounters) {
+    /// transition / queue abandonment / retry / sample) with an instant
+    /// <= `t`, in time order; ties break in exactly that order.
+    fn advance_to(&mut self, t: SimTime, ct: &EngineCounters) -> Result<(), ModelError> {
         loop {
             let dep_at = self.departures.next_time();
             let rep_at = self.controller.as_ref().and_then(|c| c.next_completion());
             let tr_at = self.transitions.get(self.next_transition).map(|x| x.at);
+            let aband_at = self.admission.next_deadline();
+            let retry_at = self.admission.next_retry();
             let sample_at = (self.next_sample_min <= self.horizon)
                 .then(|| SimTime::from_min(self.next_sample_min));
 
-            let candidates = [dep_at, rep_at, tr_at, sample_at];
+            let candidates = [dep_at, rep_at, tr_at, aband_at, retry_at, sample_at];
             let Some(min_at) = candidates.iter().flatten().min().copied() else {
                 break;
             };
@@ -395,7 +448,12 @@ impl RunState<'_> {
                 break;
             }
             if dep_at == Some(min_at) {
-                let d = self.departures.pop_due(min_at).expect("peeked");
+                let d = self
+                    .departures
+                    .pop_due(min_at)
+                    .ok_or(ModelError::Internal {
+                        context: "departure queue empty at its own next_time",
+                    })?;
                 ct.departures.inc();
                 if self.links.epoch(d.server) == d.epoch {
                     self.links.release(d.server, d.kbps);
@@ -403,31 +461,291 @@ impl RunState<'_> {
                 if d.backbone_kbps > 0 {
                     self.dispatcher.release_backbone(d.backbone_kbps);
                 }
-                // Freed streaming bandwidth may unblock a stalled copy.
+                // Freed streaming bandwidth may unblock a stalled copy
+                // first (repair priority), then waiting clients.
                 if let Some(c) = self.controller.as_mut() {
                     c.pump(min_at, &mut self.links, &mut self.dispatcher);
                 }
+                self.drain_queue(min_at, ct);
             } else if rep_at == Some(min_at) {
-                let c = self
-                    .controller
-                    .as_mut()
-                    .expect("a completion implies a controller");
-                c.complete_next(&mut self.links, &mut self.dispatcher);
+                let c = self.controller.as_mut().ok_or(ModelError::Internal {
+                    context: "repair completion due without a controller",
+                })?;
+                c.complete_next(&mut self.links, &mut self.dispatcher)?;
+                self.drain_queue(min_at, ct);
             } else if tr_at == Some(min_at) {
                 let tr = self.transitions[self.next_transition];
                 self.next_transition += 1;
                 ct.transitions.inc();
-                if tr.up {
-                    self.on_up(tr.at, tr.server);
-                } else {
-                    self.on_down(tr.at, tr.server, ct);
+                match tr.kind {
+                    TransitionKind::Down => self.on_down(tr.at, tr.server, ct),
+                    TransitionKind::Up => self.on_up(tr.at, tr.server),
+                    TransitionKind::BrownoutStart(frac) => {
+                        self.on_brownout_start(tr.at, tr.server, frac, ct)
+                    }
+                    TransitionKind::BrownoutEnd => self.on_brownout_end(tr.at, tr.server),
                 }
+                self.drain_queue(min_at, ct);
+            } else if aband_at == Some(min_at) {
+                let req = self
+                    .admission
+                    .pop_expired(min_at)
+                    .ok_or(ModelError::Internal {
+                        context: "admission deadline due with no expirable request",
+                    })?;
+                if req.retries_left > 0 {
+                    // Patience ran out, but the client retries later.
+                    self.admission.schedule_retry(
+                        min_at,
+                        PendingRequest {
+                            retries_left: req.retries_left - 1,
+                            attempt: req.attempt + 1,
+                            ..req
+                        },
+                    );
+                    ct.retried.inc();
+                    self.metrics.on_retried();
+                } else {
+                    ct.abandoned.inc();
+                    self.metrics.on_abandoned();
+                }
+            } else if retry_at == Some(min_at) {
+                let req = self
+                    .admission
+                    .pop_due_retry(min_at)
+                    .ok_or(ModelError::Internal {
+                        context: "retry timer due with no pending retry",
+                    })?;
+                self.handle_request(min_at, req, ct);
             } else {
                 ct.samples.inc();
                 self.metrics
                     .sample_loads(&self.links.stream_loads(), self.next_sample_min);
                 self.next_sample_min += self.sample_step;
             }
+            self.audit_check(min_at)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the invariant auditor (when active) after an event at `at`.
+    fn audit_check(&mut self, at: SimTime) -> Result<(), ModelError> {
+        let Some(aud) = self.auditor.as_mut() else {
+            return Ok(());
+        };
+        let (arrivals, admitted, rejected, abandoned) = self.metrics.outcome_totals();
+        let backbone_ok = match self.dispatcher.policy() {
+            AdmissionPolicy::BackboneRedirect {
+                backbone_capacity_kbps,
+            } => self.dispatcher.backbone_used_kbps() <= backbone_capacity_kbps,
+            _ => true,
+        };
+        aud.check(
+            at,
+            &self.links,
+            backbone_ok,
+            &mut self.admission,
+            Ledger {
+                arrivals,
+                admitted,
+                rejected,
+                abandoned,
+            },
+        )
+    }
+
+    /// Routes one request now owed an outcome: admit (possibly degraded),
+    /// queue, schedule a retry, or finally reject.
+    fn handle_request(&mut self, now: SimTime, req: PendingRequest, ct: &EngineCounters) {
+        if self.try_admit(now, &req, ct) {
+            return;
+        }
+        if self.admission.queueing() {
+            self.admission.enqueue(now, req);
+            ct.queued.inc();
+            self.metrics.on_queued();
+        } else if req.retries_left > 0 {
+            self.admission.schedule_retry(
+                now,
+                PendingRequest {
+                    retries_left: req.retries_left - 1,
+                    attempt: req.attempt + 1,
+                    ..req
+                },
+            );
+            ct.retried.inc();
+            self.metrics.on_retried();
+        } else {
+            ct.rejected.inc();
+            self.metrics.on_reject(req.video.index());
+        }
+    }
+
+    /// One admission attempt: full rate first, then (under a degrading
+    /// policy) down the bit-rate ladder. Returns whether a slot was taken.
+    fn try_admit(&mut self, now: SimTime, req: &PendingRequest, ct: &EngineCounters) -> bool {
+        if self.try_admit_at(now, req, req.kbps, ct) {
+            return true;
+        }
+        if !self.admission.degrades() {
+            return false;
+        }
+        let mut rate = BitRate::from_kbps(req.kbps as u32).step_down(&BitRate::LADDER);
+        while let Some(r) = rate {
+            if self.try_admit_at(now, req, r.kbps() as u64, ct) {
+                return true;
+            }
+            rate = r.step_down(&BitRate::LADDER);
+        }
+        false
+    }
+
+    /// Dispatches `req` at `rate` kbps; on admit, charges the link, books
+    /// the wait/goodput metrics and schedules the departure.
+    fn try_admit_at(
+        &mut self,
+        now: SimTime,
+        req: &PendingRequest,
+        rate: u64,
+        ct: &EngineCounters,
+    ) -> bool {
+        let replicas = match &self.controller {
+            Some(c) => c.holders(req.video),
+            None => self.layout.replicas_of(req.video),
+        };
+        match self
+            .dispatcher
+            .dispatch(req.video, rate, replicas, &self.links)
+        {
+            Decision::Admit {
+                server,
+                backbone_kbps,
+            } => {
+                self.links.admit(server, rate);
+                ct.admitted.inc();
+                if backbone_kbps > 0 {
+                    ct.redirected.inc();
+                }
+                self.metrics.on_admit(backbone_kbps > 0);
+                let wait = (now - req.arrived).as_min();
+                self.metrics.on_wait(wait);
+                ct.wait_min.observe(wait);
+                self.metrics
+                    .on_delivered(rate as f64 * req.duration_s as f64 / 60.0);
+                if rate < req.kbps {
+                    ct.adm_degraded.inc();
+                    self.metrics.on_degraded_served();
+                }
+                self.departures.push(Departure {
+                    at: now + SimTime::from_secs(req.duration_s),
+                    server,
+                    video: req.video,
+                    kbps: rate,
+                    backbone_kbps,
+                    epoch: self.links.epoch(server),
+                });
+                true
+            }
+            Decision::Reject => false,
+        }
+    }
+
+    /// After capacity frees up, offers every waiting request a slot in
+    /// FIFO order. Requests that still do not fit stay queued (later
+    /// arrivals that *do* fit may overtake them — capacity-aware
+    /// skipping, not head-of-line blocking).
+    fn drain_queue(&mut self, now: SimTime, ct: &EngineCounters) {
+        if self.admission.queue_len() == 0 {
+            return;
+        }
+        for seq in self.admission.fifo_seqs() {
+            let Some(req) = self.admission.get(seq) else {
+                continue;
+            };
+            if self.try_admit(now, &req, ct) {
+                self.admission.remove(seq);
+            }
+        }
+    }
+
+    /// Brownout onset: shrink the link's effective capacity; when the
+    /// server is overcommitted, shed repair copies first, then active
+    /// streams (latest-ending first), failing each shed stream over per
+    /// the failover policy exactly like a crash would.
+    fn on_brownout_start(&mut self, at: SimTime, server: ServerId, frac: f64, ct: &EngineCounters) {
+        self.brownout_started[server.index()] = Some(at);
+        let excess = self.links.set_brownout(server, frac);
+        if excess == 0 || !self.links.is_up(server) {
+            return;
+        }
+        if let Some(c) = self.controller.as_mut() {
+            c.on_brownout(at, server, &mut self.links, &mut self.dispatcher);
+        }
+        let j = server.index();
+        let over = |links: &LinkState| {
+            (links.used_kbps()[j] + links.repair_kbps()[j])
+                .saturating_sub(links.effective_capacity_kbps(server))
+        };
+        if over(&self.links) == 0 {
+            return;
+        }
+        let mut active = self
+            .departures
+            .extract_active(server, self.links.epoch(server));
+        let (mut disrupted, mut resumed, mut degraded) = (0u64, 0u64, 0u64);
+        while over(&self.links) > 0 {
+            // Ascending (time, seq): pop sheds the latest-ending stream.
+            let Some(d) = active.pop() else {
+                break;
+            };
+            self.links.release(server, d.kbps);
+            let rescued = if self.failover == FailoverPolicy::Kill {
+                Rescued::No
+            } else {
+                self.rescue_stream(at, &d, server)
+            };
+            match rescued {
+                Rescued::Full => resumed += 1,
+                Rescued::Degraded => degraded += 1,
+                Rescued::No => {
+                    disrupted += 1;
+                    self.metrics
+                        .on_undelivered((d.at - at).as_min() * d.kbps as f64);
+                    // Keep the departure so the backbone reservation is
+                    // reclaimed at the scheduled end; the sentinel epoch
+                    // guarantees no link release.
+                    self.departures.push(Departure {
+                        epoch: SHED_EPOCH,
+                        ..d
+                    });
+                }
+            }
+        }
+        for d in active {
+            self.departures.push(d);
+        }
+        if disrupted > 0 {
+            ct.disrupted.add(disrupted);
+            self.metrics.on_disrupted(disrupted);
+        }
+        if resumed > 0 {
+            ct.resumed.add(resumed);
+            self.metrics.on_resumed(resumed);
+        }
+        if degraded > 0 {
+            ct.degraded.add(degraded);
+            self.metrics.on_degraded(degraded);
+        }
+    }
+
+    /// Brownout over: restore full capacity and let stalled repairs pump.
+    fn on_brownout_end(&mut self, at: SimTime, server: ServerId) {
+        if let Some(start) = self.brownout_started[server.index()].take() {
+            self.brownout_min += (at - start).as_min();
+        }
+        self.links.clear_brownout(server);
+        if let Some(c) = self.controller.as_mut() {
+            c.pump(at, &mut self.links, &mut self.dispatcher);
         }
     }
 
@@ -457,11 +775,13 @@ impl RunState<'_> {
         let mut disrupted = dropped - rescued.len() as u64;
         let (mut resumed, mut degraded) = (0u64, 0u64);
         for d in rescued {
-            match self.rescue_stream(&d, server) {
+            match self.rescue_stream(at, &d, server) {
                 Rescued::Full => resumed += 1,
                 Rescued::Degraded => degraded += 1,
                 Rescued::No => {
                     disrupted += 1;
+                    self.metrics
+                        .on_undelivered((d.at - at).as_min() * d.kbps as f64);
                     // Re-queue unchanged: the stale epoch means no link
                     // release at pop time, but the backbone reservation is
                     // still reclaimed at the scheduled end — exactly the
@@ -514,7 +834,7 @@ impl RunState<'_> {
     /// stream keeps its original departure instant (remaining-duration
     /// bandwidth is charged to the new server) and carries any backbone
     /// reservation along.
-    fn rescue_stream(&mut self, d: &Departure, failed: ServerId) -> Rescued {
+    fn rescue_stream(&mut self, at: SimTime, d: &Departure, failed: ServerId) -> Rescued {
         if let Some(h) = self.best_holder(d.video, failed, d.kbps) {
             self.links.admit(h, d.kbps);
             self.departures.push(Departure {
@@ -533,6 +853,9 @@ impl RunState<'_> {
                 let kbps = r.kbps() as u64;
                 if let Some(h) = self.best_holder(d.video, failed, kbps) {
                     self.links.admit(h, kbps);
+                    // The remaining minutes stream at the thinner rate.
+                    self.metrics
+                        .on_undelivered((d.at - at).as_min() * (d.kbps - kbps) as f64);
                     self.departures.push(Departure {
                         at: d.at,
                         server: h,

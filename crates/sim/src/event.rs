@@ -72,20 +72,19 @@ impl DepartureQueue {
 
     /// Removes and returns the next departure at or before `now`, if any.
     pub fn pop_due(&mut self, now: SimTime) -> Option<Departure> {
-        match self.heap.peek() {
-            Some(Reverse((at, _, _))) if *at <= now => {
-                let Reverse((at, _, rec)) = self.heap.pop().expect("peeked");
-                Some(Departure {
-                    at,
-                    server: rec.server,
-                    video: rec.video,
-                    kbps: rec.kbps,
-                    backbone_kbps: rec.backbone_kbps,
-                    epoch: rec.epoch,
-                })
-            }
-            _ => None,
+        let Reverse((at, _, _)) = self.heap.peek()?;
+        if *at > now {
+            return None;
         }
+        let Reverse((at, _, rec)) = self.heap.pop()?;
+        Some(Departure {
+            at,
+            server: rec.server,
+            video: rec.video,
+            kbps: rec.kbps,
+            backbone_kbps: rec.backbone_kbps,
+            epoch: rec.epoch,
+        })
     }
 
     /// The next departure's instant, if any.

@@ -38,18 +38,86 @@ pub struct Outage {
     pub up_at_min: Option<f64>,
 }
 
-/// A validated set of outages.
+/// One brownout: `server`'s outgoing link runs at `capacity_frac` of its
+/// nominal bandwidth from `start_min` until `end_min` (or the end of the
+/// run). The server stays *up* — it is slow, not dead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Brownout {
+    /// The degraded server.
+    pub server: ServerId,
+    /// Degradation onset, minutes from the simulation epoch.
+    pub start_min: f64,
+    /// Restoration instant; `None` = degraded for the rest of the run.
+    pub end_min: Option<f64>,
+    /// Remaining fraction of link capacity, in `(0, 1]`.
+    pub capacity_frac: f64,
+}
+
+/// A validated set of outages plus (optionally) brownouts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct FailurePlan {
     outages: Vec<Outage>,
+    #[serde(default)]
+    brownouts: Vec<Brownout>,
 }
 
-/// Internal: a single up/down transition, sorted by time.
+/// Internal: what happens to a server at a transition instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TransitionKind {
+    /// Server crashes (fail-stop).
+    Down,
+    /// Server recovers from a crash.
+    Up,
+    /// A brownout ends; full link capacity restored.
+    BrownoutEnd,
+    /// A brownout begins; effective capacity drops to this fraction.
+    BrownoutStart(f64),
+}
+
+impl TransitionKind {
+    /// Deterministic tie-break rank at equal (time, server). Down before
+    /// Up preserves the pre-brownout ordering; a brownout that ends the
+    /// instant another starts is processed end-first.
+    fn rank(self) -> u8 {
+        match self {
+            TransitionKind::Down => 0,
+            TransitionKind::Up => 1,
+            TransitionKind::BrownoutEnd => 2,
+            TransitionKind::BrownoutStart(_) => 3,
+        }
+    }
+}
+
+/// Internal: a single state transition, sorted by time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Transition {
     pub at: SimTime,
     pub server: ServerId,
-    pub up: bool,
+    pub kind: TransitionKind,
+}
+
+fn check_brownout(b: &Brownout) -> Result<(), ModelError> {
+    if !b.start_min.is_finite() || b.start_min < 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "brownout start_min",
+            value: b.start_min,
+        });
+    }
+    if let Some(end) = b.end_min {
+        if !end.is_finite() || end <= b.start_min {
+            return Err(ModelError::InvalidParameter {
+                name: "brownout end_min",
+                value: end,
+            });
+        }
+    }
+    if !b.capacity_frac.is_finite() || b.capacity_frac <= 0.0 || b.capacity_frac > 1.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "brownout capacity_frac (must be in (0, 1])",
+            value: b.capacity_frac,
+        });
+    }
+    Ok(())
 }
 
 fn check_times(o: &Outage) -> Result<(), ModelError> {
@@ -111,7 +179,58 @@ impl FailurePlan {
                 });
             }
         }
-        Ok(FailurePlan { outages })
+        Ok(FailurePlan {
+            outages,
+            brownouts: Vec::new(),
+        })
+    }
+
+    /// Validates and builds a plan carrying both outages and brownouts.
+    pub fn with_brownouts(
+        outages: Vec<Outage>,
+        brownouts: Vec<Brownout>,
+    ) -> Result<Self, ModelError> {
+        Self::new(outages)?.add_brownouts(brownouts)
+    }
+
+    /// Attaches brownouts to this plan, validating times, capacity
+    /// fractions in `(0, 1]`, and per-server non-overlap (two concurrent
+    /// brownouts of one link would make the effective capacity ambiguous).
+    pub fn add_brownouts(mut self, brownouts: Vec<Brownout>) -> Result<Self, ModelError> {
+        self.brownouts.extend(brownouts);
+        for b in &self.brownouts {
+            check_brownout(b)?;
+        }
+        self.brownouts.sort_by(|a, b| {
+            a.start_min
+                .total_cmp(&b.start_min)
+                .then(a.server.cmp(&b.server))
+        });
+        let mut by_server: Vec<usize> = (0..self.brownouts.len()).collect();
+        by_server.sort_by(|&a, &b| {
+            self.brownouts[a]
+                .server
+                .cmp(&self.brownouts[b].server)
+                .then(
+                    self.brownouts[a]
+                        .start_min
+                        .total_cmp(&self.brownouts[b].start_min),
+                )
+        });
+        for w in by_server.windows(2) {
+            let (prev, next) = (&self.brownouts[w[0]], &self.brownouts[w[1]]);
+            if prev.server != next.server {
+                continue;
+            }
+            let prev_end = prev.end_min.unwrap_or(f64::INFINITY);
+            if next.start_min < prev_end {
+                return Err(ModelError::InvalidParameter {
+                    name: "overlapping brownouts",
+                    value: next.start_min,
+                });
+            }
+        }
+        Ok(self)
     }
 
     /// Builds a plan from outages that may overlap per server (e.g. a
@@ -156,6 +275,11 @@ impl FailurePlan {
                 return Err(ModelError::UnknownServer(o.server));
             }
         }
+        for b in &self.brownouts {
+            if b.server.index() >= n_servers {
+                return Err(ModelError::UnknownServer(b.server));
+            }
+        }
         Ok(())
     }
 
@@ -164,29 +288,49 @@ impl FailurePlan {
         &self.outages
     }
 
-    /// True when the plan injects nothing.
-    pub fn is_empty(&self) -> bool {
-        self.outages.is_empty()
+    /// The brownouts, sorted by start time.
+    pub fn brownouts(&self) -> &[Brownout] {
+        &self.brownouts
     }
 
-    /// Flattens into time-sorted up/down transitions for the engine.
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.brownouts.is_empty()
+    }
+
+    /// Flattens into time-sorted state transitions for the engine.
     pub(crate) fn transitions(&self) -> Vec<Transition> {
-        let mut t: Vec<Transition> = Vec::with_capacity(self.outages.len() * 2);
+        let mut t: Vec<Transition> =
+            Vec::with_capacity(self.outages.len() * 2 + self.brownouts.len() * 2);
         for o in &self.outages {
             t.push(Transition {
                 at: SimTime::from_min(o.down_at_min),
                 server: o.server,
-                up: false,
+                kind: TransitionKind::Down,
             });
             if let Some(up) = o.up_at_min {
                 t.push(Transition {
                     at: SimTime::from_min(up),
                     server: o.server,
-                    up: true,
+                    kind: TransitionKind::Up,
                 });
             }
         }
-        t.sort_by_key(|x| (x.at, x.server, x.up));
+        for b in &self.brownouts {
+            t.push(Transition {
+                at: SimTime::from_min(b.start_min),
+                server: b.server,
+                kind: TransitionKind::BrownoutStart(b.capacity_frac),
+            });
+            if let Some(end) = b.end_min {
+                t.push(Transition {
+                    at: SimTime::from_min(end),
+                    server: b.server,
+                    kind: TransitionKind::BrownoutEnd,
+                });
+            }
+        }
+        t.sort_by_key(|a| (a.at, a.server, a.kind.rank()));
         t
     }
 }
@@ -204,11 +348,63 @@ pub struct RackFailures {
     pub mttr_min: f64,
 }
 
+/// Stochastic partial-degradation model: each server's outgoing link
+/// browns out on an independent exponential MTBF/MTTR renewal process,
+/// with the surviving capacity fraction drawn uniformly from
+/// `[min_capacity_frac, max_capacity_frac]` per episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutModel {
+    /// Mean time between brownouts per server, minutes (exponential).
+    /// `f64::INFINITY` disables the model.
+    pub mtbf_min: f64,
+    /// Mean brownout duration, minutes (exponential).
+    pub mttr_min: f64,
+    /// Lower bound of the surviving capacity fraction, in `(0, 1]`.
+    pub min_capacity_frac: f64,
+    /// Upper bound of the surviving capacity fraction, in `(0, 1]`.
+    pub max_capacity_frac: f64,
+}
+
+impl BrownoutModel {
+    /// Parameter validation (positive times, fractions in `(0, 1]`,
+    /// `min ≤ max`).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.mtbf_min.is_nan() || self.mtbf_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "brownout mtbf_min",
+                value: self.mtbf_min,
+            });
+        }
+        if !self.mttr_min.is_finite() || self.mttr_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "brownout mttr_min",
+                value: self.mttr_min,
+            });
+        }
+        for (name, v) in [
+            ("brownout min_capacity_frac", self.min_capacity_frac),
+            ("brownout max_capacity_frac", self.max_capacity_frac),
+        ] {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(ModelError::InvalidParameter { name, value: v });
+            }
+        }
+        if self.min_capacity_frac > self.max_capacity_frac {
+            return Err(ModelError::InvalidParameter {
+                name: "brownout min_capacity_frac > max_capacity_frac",
+                value: self.min_capacity_frac,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Stochastic fault injection: each server fails on an independent
 /// exponential MTBF/MTTR alternating-renewal process, optionally
-/// overlaid with correlated [`RackFailures`]. Deterministic per `seed`
-/// — every server and rack derives its own RNG stream from it, so the
-/// drawn outages do not depend on iteration order.
+/// overlaid with correlated [`RackFailures`] and partial-capacity
+/// [`BrownoutModel`] episodes. Deterministic per `seed` — every server,
+/// rack, and brownout process derives its own RNG stream from it, so
+/// the drawn faults do not depend on iteration order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureModel {
     /// Per-server mean time between failures, minutes. `f64::INFINITY`
@@ -220,6 +416,10 @@ pub struct FailureModel {
     pub seed: u64,
     /// Correlated group failures overlaid on the per-server processes.
     pub racks: Vec<RackFailures>,
+    /// Optional partial bandwidth degradation overlaid on the crash
+    /// processes (`None` = links always run at full capacity).
+    #[serde(default)]
+    pub brownouts: Option<BrownoutModel>,
 }
 
 impl FailureModel {
@@ -230,6 +430,18 @@ impl FailureModel {
             mttr_min,
             seed,
             racks: Vec::new(),
+            brownouts: None,
+        }
+    }
+
+    /// A model that injects only brownouts: no crashes, no racks.
+    pub fn brownouts_only(model: BrownoutModel, seed: u64) -> Self {
+        FailureModel {
+            mtbf_min: f64::INFINITY,
+            mttr_min: 1.0, // unused: infinite MTBF draws no crashes
+            seed,
+            racks: Vec::new(),
+            brownouts: Some(model),
         }
     }
 
@@ -266,6 +478,9 @@ impl FailureModel {
                     return Err(ModelError::UnknownServer(s));
                 }
             }
+        }
+        if let Some(b) = &self.brownouts {
+            b.validate()?;
         }
         Ok(())
     }
@@ -309,7 +524,22 @@ impl FailureModel {
                 &mut outages,
             );
         }
-        FailurePlan::merged(outages)
+        let mut brownouts = Vec::new();
+        if let Some(model) = &self.brownouts {
+            if model.mtbf_min.is_finite() {
+                for j in 0..n_servers {
+                    let mut rng = self.stream_rng(0xB120_0000 + j as u64);
+                    draw_renewal_brownouts(
+                        &mut rng,
+                        model,
+                        horizon_min,
+                        ServerId(j as u32),
+                        &mut brownouts,
+                    );
+                }
+            }
+        }
+        FailurePlan::merged(outages)?.add_brownouts(brownouts)
     }
 
     /// One independent, order-insensitive RNG stream per entity.
@@ -325,6 +555,40 @@ impl FailureModel {
 fn sample_exp(rng: &mut ChaCha8Rng, mean_min: f64) -> f64 {
     let u: f64 = rng.gen();
     -mean_min * (1.0 - u).ln()
+}
+
+/// Walks one alternating healthy/degraded renewal process over
+/// `[0, horizon)`, appending one brownout per episode with a fresh
+/// uniform capacity-fraction draw.
+fn draw_renewal_brownouts(
+    rng: &mut ChaCha8Rng,
+    model: &BrownoutModel,
+    horizon_min: f64,
+    server: ServerId,
+    out: &mut Vec<Brownout>,
+) {
+    let mut t = 0.0f64;
+    loop {
+        let start = t + sample_exp(rng, model.mtbf_min);
+        if start >= horizon_min {
+            break;
+        }
+        let end = start + sample_exp(rng, model.mttr_min);
+        let u: f64 = rng.gen();
+        let frac =
+            model.min_capacity_frac + u * (model.max_capacity_frac - model.min_capacity_frac);
+        let end_min = (end < horizon_min).then_some(end);
+        out.push(Brownout {
+            server,
+            start_min: start,
+            end_min,
+            capacity_frac: frac.clamp(model.min_capacity_frac, model.max_capacity_frac),
+        });
+        match end_min {
+            Some(end) => t = end,
+            None => break,
+        }
+    }
 }
 
 /// Walks one alternating up/down renewal process over `[0, horizon)`,
@@ -559,6 +823,7 @@ mod tests {
                 mtbf_min: 20.0,
                 mttr_min: 5.0,
             }],
+            brownouts: None,
         };
         let plan = model.compile(4, 90.0).unwrap();
         assert!(!plan.is_empty());
@@ -597,11 +862,147 @@ mod tests {
                 mtbf_min: 10.0,
                 mttr_min: 1.0,
             }],
+            brownouts: None,
         };
         assert_eq!(
             bad_rack.validate(4),
             Err(ModelError::UnknownServer(ServerId(9)))
         );
+    }
+
+    #[test]
+    fn brownout_plan_validates_and_flattens() {
+        let plan = FailurePlan::with_brownouts(
+            vec![Outage {
+                server: ServerId(0),
+                down_at_min: 10.0,
+                up_at_min: Some(20.0),
+            }],
+            vec![Brownout {
+                server: ServerId(1),
+                start_min: 5.0,
+                end_min: Some(30.0),
+                capacity_frac: 0.5,
+            }],
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        let t = plan.transitions();
+        assert_eq!(t.len(), 4);
+        assert!(t.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(t[0].kind, TransitionKind::BrownoutStart(0.5));
+        assert_eq!(t[3].kind, TransitionKind::BrownoutEnd);
+        plan.validate_servers(2).unwrap();
+        assert!(plan.validate_servers(1).is_err());
+    }
+
+    #[test]
+    fn brownout_validation_rejects_bad_fractions_and_overlaps() {
+        let bo = |start: f64, end: Option<f64>, frac: f64| Brownout {
+            server: ServerId(0),
+            start_min: start,
+            end_min: end,
+            capacity_frac: frac,
+        };
+        assert!(FailurePlan::with_brownouts(vec![], vec![bo(0.0, Some(5.0), 0.0)]).is_err());
+        assert!(FailurePlan::with_brownouts(vec![], vec![bo(0.0, Some(5.0), 1.5)]).is_err());
+        assert!(FailurePlan::with_brownouts(vec![], vec![bo(5.0, Some(5.0), 0.5)]).is_err());
+        assert!(FailurePlan::with_brownouts(vec![], vec![bo(-1.0, None, 0.5)]).is_err());
+        // Overlapping brownouts of one server are ambiguous.
+        assert!(FailurePlan::with_brownouts(
+            vec![],
+            vec![bo(0.0, Some(10.0), 0.5), bo(5.0, Some(15.0), 0.7)]
+        )
+        .is_err());
+        // Back-to-back is fine.
+        assert!(FailurePlan::with_brownouts(
+            vec![],
+            vec![bo(0.0, Some(10.0), 0.5), bo(10.0, Some(15.0), 0.7)]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn brownout_model_compiles_deterministically_inside_horizon() {
+        let model = FailureModel::brownouts_only(
+            BrownoutModel {
+                mtbf_min: 30.0,
+                mttr_min: 10.0,
+                min_capacity_frac: 0.3,
+                max_capacity_frac: 0.7,
+            },
+            99,
+        );
+        let a = model.compile(8, 90.0).unwrap();
+        let b = model.compile(8, 90.0).unwrap();
+        assert_eq!(a, b);
+        assert!(a.outages().is_empty(), "brownouts_only draws no crashes");
+        assert!(!a.brownouts().is_empty());
+        for br in a.brownouts() {
+            assert!(br.start_min >= 0.0 && br.start_min < 90.0);
+            assert!((0.3..=0.7).contains(&br.capacity_frac));
+            if let Some(end) = br.end_min {
+                assert!(end < 90.0);
+            }
+        }
+        let c = FailureModel::brownouts_only(
+            BrownoutModel {
+                mtbf_min: 30.0,
+                mttr_min: 10.0,
+                min_capacity_frac: 0.3,
+                max_capacity_frac: 0.7,
+            },
+            100,
+        )
+        .compile(8, 90.0)
+        .unwrap();
+        assert_ne!(a, c, "different seeds draw different brownouts");
+    }
+
+    #[test]
+    fn brownout_model_validation() {
+        let bad = |m: BrownoutModel| FailureModel::brownouts_only(m, 0).validate(4).is_err();
+        let base = BrownoutModel {
+            mtbf_min: 30.0,
+            mttr_min: 10.0,
+            min_capacity_frac: 0.3,
+            max_capacity_frac: 0.7,
+        };
+        assert!(FailureModel::brownouts_only(base.clone(), 0)
+            .validate(4)
+            .is_ok());
+        assert!(bad(BrownoutModel {
+            mtbf_min: 0.0,
+            ..base.clone()
+        }));
+        assert!(bad(BrownoutModel {
+            mttr_min: f64::INFINITY,
+            ..base.clone()
+        }));
+        assert!(bad(BrownoutModel {
+            min_capacity_frac: 0.0,
+            ..base.clone()
+        }));
+        assert!(bad(BrownoutModel {
+            max_capacity_frac: 1.2,
+            ..base.clone()
+        }));
+        assert!(bad(BrownoutModel {
+            min_capacity_frac: 0.8,
+            max_capacity_frac: 0.4,
+            ..base
+        }));
+    }
+
+    #[test]
+    fn legacy_plan_json_still_deserializes() {
+        // Pre-brownout serialized plans have no `brownouts` field.
+        let plan: FailurePlan = serde_json::from_str(
+            r#"{"outages":[{"server":3,"down_at_min":1.0,"up_at_min":null}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.outages().len(), 1);
+        assert!(plan.brownouts().is_empty());
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //! * [`dispatch`] — admission policies: the paper's strict static
 //!   round-robin, plus least-loaded-replica, round-robin failover, and the
 //!   backbone-redirection extension of the authors' follow-up work \[19\];
-//! * [`failure`] — injected server outages (availability experiments) and
-//!   the stochastic MTBF/MTTR fault model (recovery experiments);
+//! * [`admission`] — the overload pipeline: FIFO wait queue with client
+//!   patience, bounded retries with backoff, degrade-at-admission;
+//! * [`failure`] — injected server outages (availability experiments),
+//!   the stochastic MTBF/MTTR fault model (recovery experiments), and
+//!   partial bandwidth brownouts;
 //! * [`repair`] — mid-run re-replication of lost redundancy and the
 //!   stream-failover policies (resume / graceful degradation);
 //! * [`striping`] — the wide-striping comparator architecture the paper
@@ -59,7 +62,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod admission;
+mod audit;
 pub mod dispatch;
 pub mod engine;
 pub mod event;
@@ -70,9 +76,10 @@ pub mod server;
 pub mod striping;
 pub mod time;
 
+pub use admission::{AdmissionConfig, QueuePolicy};
 pub use dispatch::AdmissionPolicy;
 pub use engine::{SimConfig, Simulation};
-pub use failure::{FailureModel, FailurePlan, Outage, RackFailures};
+pub use failure::{Brownout, BrownoutModel, FailureModel, FailurePlan, Outage, RackFailures};
 pub use metrics::SimReport;
 pub use repair::{FailoverPolicy, RepairConfig};
 pub use striping::{StripedConfig, StripedSimulation};

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use vod_model::load;
+use vod_workload::stats;
 
 /// One recorded load snapshot (when series recording is enabled).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +30,14 @@ pub struct MetricsCollector {
     disrupted: u64,
     resumed: u64,
     degraded: u64,
+    queued: u64,
+    retried: u64,
+    abandoned: u64,
+    degraded_served: u64,
+    wait_times_min: Vec<f64>,
+    offered_kbps_min: f64,
+    delivered_kbps_min: f64,
+    brownout_active_min: f64,
     repair_bytes_copied: u64,
     repair_copies: u64,
     time_to_redundancy_min: f64,
@@ -59,6 +68,14 @@ impl MetricsCollector {
             disrupted: 0,
             resumed: 0,
             degraded: 0,
+            queued: 0,
+            retried: 0,
+            abandoned: 0,
+            degraded_served: 0,
+            wait_times_min: Vec::new(),
+            offered_kbps_min: 0.0,
+            delivered_kbps_min: 0.0,
+            brownout_active_min: 0.0,
             repair_bytes_copied: 0,
             repair_copies: 0,
             time_to_redundancy_min: 0.0,
@@ -120,6 +137,62 @@ impl MetricsCollector {
     /// their server failed (graceful degradation).
     pub fn on_degraded(&mut self, count: u64) {
         self.degraded += count;
+    }
+
+    /// Records a request entering the admission wait queue.
+    pub fn on_queued(&mut self) {
+        self.queued += 1;
+    }
+
+    /// Records a retry being scheduled for a blocked/abandoning request.
+    pub fn on_retried(&mut self) {
+        self.retried += 1;
+    }
+
+    /// Records a final abandonment (patience and retry budget exhausted,
+    /// or the run ended while the request was still waiting).
+    pub fn on_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// Records an admission below the requested bit rate (the
+    /// `QueueOrDegrade` policy settled for a thinner slot).
+    pub fn on_degraded_served(&mut self) {
+        self.degraded_served += 1;
+    }
+
+    /// Records the wait of a request served after queueing, in minutes.
+    pub fn on_wait(&mut self, wait_min: f64) {
+        self.wait_times_min.push(wait_min);
+    }
+
+    /// Adds `kbps × minutes` of *offered* traffic (each arrival's full
+    /// rate over its full duration) to the goodput denominator.
+    pub fn on_offered(&mut self, kbps_min: f64) {
+        self.offered_kbps_min += kbps_min;
+    }
+
+    /// Adds delivered `kbps × minutes` (at the admitted, possibly
+    /// degraded, rate) to the goodput numerator.
+    pub fn on_delivered(&mut self, kbps_min: f64) {
+        self.delivered_kbps_min += kbps_min;
+    }
+
+    /// Subtracts `kbps × minutes` a previously admitted stream will no
+    /// longer deliver (killed or rate-reduced mid-flight).
+    pub fn on_undelivered(&mut self, kbps_min: f64) {
+        self.delivered_kbps_min -= kbps_min;
+    }
+
+    /// Stores the total browned-out server time for the run.
+    pub fn set_brownout_active_min(&mut self, min: f64) {
+        self.brownout_active_min = min;
+    }
+
+    /// Terminal-outcome totals for the invariant auditor:
+    /// `(arrivals, admitted, rejected, abandoned)`.
+    pub(crate) fn outcome_totals(&self) -> (u64, u64, u64, u64) {
+        (self.arrivals, self.admitted, self.rejected, self.abandoned)
     }
 
     /// Arrivals observed so far, per video (used as demand weights when
@@ -184,6 +257,19 @@ impl MetricsCollector {
             disrupted: self.disrupted,
             resumed: self.resumed,
             degraded: self.degraded,
+            queued: self.queued,
+            retried: self.retried,
+            abandoned: self.abandoned,
+            degraded_served: self.degraded_served,
+            mean_wait_min: stats::sample_mean(&self.wait_times_min),
+            wait_p50_min: stats::percentile(&self.wait_times_min, 0.50),
+            wait_p95_min: stats::percentile(&self.wait_times_min, 0.95),
+            goodput: if self.offered_kbps_min > 0.0 {
+                (self.delivered_kbps_min / self.offered_kbps_min).clamp(0.0, 1.0)
+            } else {
+                1.0
+            },
+            brownout_active_min: self.brownout_active_min,
             repair_bytes_copied: self.repair_bytes_copied,
             repair_copies: self.repair_copies,
             time_to_redundancy_min: self.time_to_redundancy_min,
@@ -232,6 +318,43 @@ pub struct SimReport {
     /// failed (zero unless graceful degradation is enabled).
     #[serde(default)]
     pub degraded: u64,
+    /// Requests that entered the admission wait queue at least once
+    /// (zero under the default `Block` policy).
+    #[serde(default)]
+    pub queued: u64,
+    /// Retry attempts scheduled by the admission pipeline.
+    #[serde(default)]
+    pub retried: u64,
+    /// Requests that gave up waiting: patience expired with no retry
+    /// budget left, or the run ended while they were still pending.
+    #[serde(default)]
+    pub abandoned: u64,
+    /// Requests admitted below their requested bit rate by the
+    /// `QueueOrDegrade` policy.
+    #[serde(default)]
+    pub degraded_served: u64,
+    /// Mean wait of queued-then-served requests, minutes (0 when no
+    /// request waited).
+    #[serde(default)]
+    pub mean_wait_min: f64,
+    /// Median wait of queued-then-served requests, minutes.
+    #[serde(default)]
+    pub wait_p50_min: f64,
+    /// 95th-percentile wait of queued-then-served requests, minutes.
+    #[serde(default)]
+    pub wait_p95_min: f64,
+    /// Delivered ÷ offered `kbps·minutes`: the fraction of requested
+    /// stream-bandwidth-time actually served (degraded admissions,
+    /// rate-reduced failovers and mid-flight kills all reduce it; 1.0
+    /// for an idle run). Exact except for streams dropped by
+    /// [`crate::FailoverPolicy::Kill`] during a *crash* (not brownout),
+    /// whose remaining duration is still counted as delivered — a
+    /// documented simplification of the kill path.
+    #[serde(default)]
+    pub goodput: f64,
+    /// Total browned-out time summed over servers, minutes.
+    #[serde(default)]
+    pub brownout_active_min: f64,
     /// Bytes of replica data copied by mid-run repair.
     #[serde(default)]
     pub repair_bytes_copied: u64,
@@ -278,11 +401,15 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Conservation check: every arrival was either admitted or rejected.
+    /// Conservation check: every arrival ended exactly once — admitted
+    /// (possibly degraded), finally rejected, or abandoned after
+    /// queueing. `abandoned` is zero under the default `Block` policy,
+    /// reducing this to the paper's loss-model identity.
     pub fn is_conservative(&self) -> bool {
-        self.admitted + self.rejected == self.arrivals
+        self.admitted + self.rejected + self.abandoned == self.arrivals
             && self.per_video_arrivals.iter().sum::<u64>() == self.arrivals
             && self.per_video_rejections.iter().sum::<u64>() == self.rejected
+            && self.degraded_served <= self.admitted
     }
 }
 
@@ -308,6 +435,69 @@ mod tests {
         assert!((r.rejection_rate - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.per_video_arrivals, vec![2, 1]);
         assert_eq!(r.per_video_rejections, vec![0, 1]);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn admission_pipeline_counters_flow_through() {
+        let mut c = MetricsCollector::new(1);
+        // Request 1: queued, waits 2 min, then served at a thinner rate.
+        c.on_arrival(0);
+        c.on_queued();
+        c.on_wait(2.0);
+        c.on_admit(false);
+        c.on_degraded_served();
+        // Request 2: queued, one retry, then gives up.
+        c.on_arrival(0);
+        c.on_queued();
+        c.on_retried();
+        c.on_abandoned();
+        // Request 3: served instantly.
+        c.on_arrival(0);
+        c.on_wait(6.0);
+        c.on_admit(false);
+        c.on_offered(100.0);
+        c.on_delivered(80.0);
+        c.on_undelivered(10.0);
+        c.set_brownout_active_min(3.5);
+        let r = c.finish(90.0);
+        assert_eq!(
+            (r.queued, r.retried, r.abandoned, r.degraded_served),
+            (2, 1, 1, 1)
+        );
+        assert_eq!((r.admitted, r.rejected, r.abandoned), (2, 0, 1));
+        assert!(r.is_conservative(), "abandonment balances the ledger");
+        assert!((r.goodput - 0.7).abs() < 1e-12);
+        assert!((r.mean_wait_min - 4.0).abs() < 1e-12);
+        assert!((r.wait_p50_min - 4.0).abs() < 1e-12);
+        assert!((r.wait_p95_min - 5.8).abs() < 1e-12);
+        assert_eq!(r.brownout_active_min, 3.5);
+    }
+
+    #[test]
+    fn goodput_defaults_to_one_when_nothing_offered() {
+        let r = MetricsCollector::new(1).finish(90.0);
+        assert_eq!(r.goodput, 1.0);
+        assert_eq!(r.wait_p50_min, 0.0);
+    }
+
+    #[test]
+    fn legacy_report_json_deserializes_with_defaults() {
+        // Pre-pipeline reports carry none of the admission fields.
+        let json = r#"{"arrivals":1,"admitted":1,"rejected":0,"redirected":0,
+            "disrupted":0,"resumed":0,"degraded":0,"repair_bytes_copied":0,
+            "repair_copies":0,"time_to_redundancy_min":0.0,
+            "redundancy_deficit_video_min":0.0,"unavailability_video_min":0.0,
+            "rejection_rate":0.0,"mean_imbalance_cv":0.0,
+            "mean_imbalance_maxdev_rel":0.0,"mean_imbalance_maxdev_streams":0.0,
+            "peak_concurrent_streams":1,"mean_concurrent_streams":0.5,
+            "per_video_arrivals":[1],"per_video_rejections":[0],"series":[]}"#;
+        let r: SimReport = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            (r.queued, r.retried, r.abandoned, r.degraded_served),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(r.goodput, 0.0); // serde default; field is new
         assert!(r.is_conservative());
     }
 

@@ -26,7 +26,7 @@ use crate::server::LinkState;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use vod_model::{Catalog, ClusterSpec, Layout, ReplicationScheme, ServerId, VideoId};
+use vod_model::{Catalog, ClusterSpec, Layout, ModelError, ReplicationScheme, ServerId, VideoId};
 use vod_placement::traits::PlacementInput;
 use vod_placement::{IncrementalPlacement, PlacementPolicy};
 
@@ -494,15 +494,23 @@ impl RepairController {
     }
 
     /// Completes the earliest due copy: releases its bandwidth, makes the
-    /// replica servable, and updates redundancy accounting.
-    pub fn complete_next(&mut self, links: &mut LinkState, dispatcher: &mut Dispatcher) {
+    /// replica servable, and updates redundancy accounting. Errors when
+    /// no copy is in flight (the engine only calls this when
+    /// [`Self::next_completion`] reported one).
+    pub fn complete_next(
+        &mut self,
+        links: &mut LinkState,
+        dispatcher: &mut Dispatcher,
+    ) -> Result<(), ModelError> {
         let idx = self
             .copies
             .iter()
             .enumerate()
             .min_by_key(|(_, c)| (c.done_at, c.seq))
             .map(|(i, _)| i)
-            .expect("complete_next called with no in-flight copies");
+            .ok_or(ModelError::Internal {
+                context: "complete_next called with no in-flight copies",
+            })?;
         let c = self.copies.remove(idx);
         links.release_repair(c.src, c.kbps);
         links.release_repair(c.dst, c.kbps);
@@ -519,6 +527,45 @@ impl RepairController {
         // A recovery may have raced this copy past its target.
         self.retire_surplus(c.video.index());
         self.pump(c.done_at, links, dispatcher);
+        Ok(())
+    }
+
+    /// Brownout hook: while `server` is committed beyond its shrunken
+    /// effective capacity, abort repair copies touching it —
+    /// farthest-from-done first, so the least sunk work is discarded.
+    /// Aborted videos re-queue and re-pump once capacity returns. The
+    /// engine sheds active streams only for the excess that remains.
+    pub fn on_brownout(
+        &mut self,
+        at: SimTime,
+        server: ServerId,
+        links: &mut LinkState,
+        dispatcher: &mut Dispatcher,
+    ) {
+        self.integrate(at.as_min());
+        let j = server.index();
+        while links.used_kbps()[j] + links.repair_kbps()[j] > links.effective_capacity_kbps(server)
+        {
+            let Some(i) = self
+                .copies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.src == server || c.dst == server)
+                .max_by_key(|(_, c)| (c.done_at, c.seq))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let c = self.copies.remove(i);
+            links.release_repair(c.src, c.kbps);
+            links.release_repair(c.dst, c.kbps);
+            if c.backbone_kbps > 0 {
+                dispatcher.release_backbone(c.backbone_kbps);
+            }
+            self.used_bytes[c.dst.index()] -= c.bytes;
+            self.in_flight[c.video.index()] -= 1;
+            self.pending.insert(c.video.0);
+        }
     }
 
     /// End of run: aborts in-flight copies (releasing every reservation,
@@ -662,7 +709,7 @@ mod tests {
         assert!(links.repair_kbps().iter().any(|&k| k > 0));
         // Complete every copy; redundancy must be fully restored.
         while c.next_completion().is_some() {
-            c.complete_next(&mut links, &mut disp);
+            c.complete_next(&mut links, &mut disp).unwrap();
             c.check_invariants();
         }
         for v in 0..8 {
@@ -789,7 +836,7 @@ mod tests {
             &mut disp,
         );
         while c.next_completion().is_some() {
-            c.complete_next(&mut links, &mut disp);
+            c.complete_next(&mut links, &mut disp).unwrap();
         }
         assert!(c.bytes_copied() > 0);
         // The rebuilt copies occupy extra storage while s0 is down...
@@ -931,7 +978,7 @@ mod tests {
                     c.on_recovery(SimTime::from_min(t), s, &mut links, &mut disp);
                 }
                 if drain_one && c.next_completion().is_some() {
-                    c.complete_next(&mut links, &mut disp);
+                    c.complete_next(&mut links, &mut disp).unwrap();
                 }
                 c.check_invariants();
                 prop_assert!(links.within_capacity());

@@ -16,6 +16,9 @@ use vod_model::{ClusterSpec, ServerId};
 #[derive(Debug, Clone)]
 pub struct LinkState {
     capacity_kbps: Vec<u64>,
+    /// Effective (brownout-adjusted) capacity; equals `capacity_kbps`
+    /// while the link is healthy.
+    effective_kbps: Vec<u64>,
     used_kbps: Vec<u64>,
     repair_kbps: Vec<u64>,
     streams: Vec<u32>,
@@ -29,6 +32,7 @@ impl LinkState {
         let capacity_kbps: Vec<u64> = cluster.servers().iter().map(|s| s.bandwidth_kbps).collect();
         let n = capacity_kbps.len();
         LinkState {
+            effective_kbps: capacity_kbps.clone(),
             capacity_kbps,
             used_kbps: vec![0; n],
             repair_kbps: vec![0; n],
@@ -63,9 +67,41 @@ impl LinkState {
         dropped
     }
 
-    /// Brings `server` back up (idle).
+    /// Brings `server` back up (idle). An active brownout survives the
+    /// outage: the link comes back at its degraded effective capacity
+    /// until the scheduled brownout end clears it.
     pub fn recover(&mut self, server: ServerId) {
         self.up[server.index()] = true;
+    }
+
+    /// Starts a brownout: the link's effective capacity drops to
+    /// `capacity × frac` (`frac ∈ (0, 1]`). Returns the bandwidth in kbps
+    /// by which current commitments (streams + repair reservations) now
+    /// exceed the degraded link — the caller must shed that much.
+    pub fn set_brownout(&mut self, server: ServerId, frac: f64) -> u64 {
+        let j = server.index();
+        debug_assert!(frac > 0.0 && frac <= 1.0);
+        self.effective_kbps[j] = (self.capacity_kbps[j] as f64 * frac).floor() as u64;
+        (self.used_kbps[j] + self.repair_kbps[j]).saturating_sub(self.effective_kbps[j])
+    }
+
+    /// Ends a brownout, restoring the link's full capacity.
+    pub fn clear_brownout(&mut self, server: ServerId) {
+        let j = server.index();
+        self.effective_kbps[j] = self.capacity_kbps[j];
+    }
+
+    /// Whether `server`'s link is currently running below full capacity.
+    #[inline]
+    pub fn is_browned_out(&self, server: ServerId) -> bool {
+        let j = server.index();
+        self.effective_kbps[j] < self.capacity_kbps[j]
+    }
+
+    /// Current effective (brownout-adjusted) capacity of `server`'s link.
+    #[inline]
+    pub fn effective_capacity_kbps(&self, server: ServerId) -> u64 {
+        self.effective_kbps[server.index()]
     }
 
     /// Number of servers.
@@ -86,18 +122,20 @@ impl LinkState {
     #[inline]
     pub fn can_admit(&self, server: ServerId, kbps: u64) -> bool {
         let j = server.index();
-        self.up[j] && self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]
+        self.up[j] && self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]
     }
 
     /// Free outgoing bandwidth on `server`, in kbps (0 while down), net
-    /// of any repair-copy reservations.
+    /// of any repair-copy reservations and brownout degradation. A
+    /// browned-out server thus looks "slow, not dead" to dispatch and
+    /// repair source selection.
     #[inline]
     pub fn free_kbps(&self, server: ServerId) -> u64 {
         let j = server.index();
         if !self.up[j] {
             return 0;
         }
-        self.capacity_kbps[j] - self.used_kbps[j] - self.repair_kbps[j]
+        self.effective_kbps[j].saturating_sub(self.used_kbps[j] + self.repair_kbps[j])
     }
 
     /// Admits a stream; panics in debug builds if capacity would be
@@ -105,7 +143,7 @@ impl LinkState {
     #[inline]
     pub fn admit(&mut self, server: ServerId, kbps: u64) {
         let j = server.index();
-        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]);
+        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]);
         self.used_kbps[j] += kbps;
         self.streams[j] += 1;
     }
@@ -117,7 +155,7 @@ impl LinkState {
     pub fn reserve_repair(&mut self, server: ServerId, kbps: u64) {
         let j = server.index();
         debug_assert!(self.up[j]);
-        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.capacity_kbps[j]);
+        debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]);
         self.repair_kbps[j] += kbps;
     }
 
@@ -171,13 +209,13 @@ impl LinkState {
         self.streams.iter().map(|&s| s as u64).sum()
     }
 
-    /// Invariant check used by tests and debug assertions: no link over
-    /// capacity.
+    /// Invariant check used by tests, debug assertions, and the runtime
+    /// auditor: no link over its effective (brownout-adjusted) capacity.
     pub fn within_capacity(&self) -> bool {
         self.used_kbps
             .iter()
             .zip(&self.repair_kbps)
-            .zip(&self.capacity_kbps)
+            .zip(&self.effective_kbps)
             .all(|((&u, &r), &c)| u + r <= c)
     }
 }
@@ -286,6 +324,39 @@ mod tests {
         l.release_repair(ServerId(0), 4_000);
         l.recover(ServerId(0));
         assert_eq!(l.free_kbps(ServerId(0)), 10_000);
+    }
+
+    #[test]
+    fn brownout_shrinks_effective_capacity_and_reports_excess() {
+        let mut l = links(1, 10_000);
+        l.admit(ServerId(0), 4_000);
+        l.admit(ServerId(0), 4_000);
+        // 50% brownout: effective 5 000 kbps, 8 000 committed → shed 3 000.
+        let excess = l.set_brownout(ServerId(0), 0.5);
+        assert_eq!(excess, 3_000);
+        assert!(l.is_browned_out(ServerId(0)));
+        assert_eq!(l.effective_capacity_kbps(ServerId(0)), 5_000);
+        assert_eq!(l.free_kbps(ServerId(0)), 0); // saturates, no underflow
+        assert!(!l.can_admit(ServerId(0), 1));
+        assert!(!l.within_capacity());
+        l.release(ServerId(0), 4_000);
+        assert!(l.within_capacity());
+        assert_eq!(l.free_kbps(ServerId(0)), 1_000);
+        l.clear_brownout(ServerId(0));
+        assert!(!l.is_browned_out(ServerId(0)));
+        assert_eq!(l.free_kbps(ServerId(0)), 6_000);
+    }
+
+    #[test]
+    fn brownout_survives_crash_and_recovery() {
+        let mut l = links(1, 10_000);
+        l.set_brownout(ServerId(0), 0.3);
+        l.fail(ServerId(0));
+        l.recover(ServerId(0));
+        assert!(l.is_browned_out(ServerId(0)));
+        assert_eq!(l.effective_capacity_kbps(ServerId(0)), 3_000);
+        assert!(!l.can_admit(ServerId(0), 3_001));
+        assert!(l.can_admit(ServerId(0), 3_000));
     }
 
     #[test]

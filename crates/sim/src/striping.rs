@@ -21,7 +21,7 @@
 //!   active stream (each needs all stripes) and halts admission until
 //!   recovery, where the replicated cluster degrades by ~1/N.
 
-use crate::failure::FailurePlan;
+use crate::failure::{FailurePlan, TransitionKind};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -194,15 +194,22 @@ impl<'a> StripedSimulation<'a> {
                 } else if tr_at == Some(min_at) {
                     let tr = transitions[*next_transition];
                     *next_transition += 1;
-                    if tr.up {
-                        *down = down.saturating_sub(1);
-                    } else {
-                        // Full coupling: every active stream dies.
-                        metrics.on_disrupted(*active as u64);
-                        *active = 0;
-                        *used = 0.0;
-                        *epoch += 1;
-                        *down += 1;
+                    match tr.kind {
+                        TransitionKind::Up => {
+                            *down = down.saturating_sub(1);
+                        }
+                        TransitionKind::Down => {
+                            // Full coupling: every active stream dies.
+                            metrics.on_disrupted(*active as u64);
+                            *active = 0;
+                            *used = 0.0;
+                            *epoch += 1;
+                            *down += 1;
+                        }
+                        // The comparator models full failures only;
+                        // partial bandwidth degradation of one member is
+                        // outside its (deliberately pessimal) scope.
+                        TransitionKind::BrownoutStart(_) | TransitionKind::BrownoutEnd => {}
                     }
                 } else {
                     // Perfect balance: every link carries the same load.

@@ -78,14 +78,16 @@ impl RunRecord {
     /// Copies counters from a snapshot, and turns its span histograms
     /// into phase timings (total seconds per span, appended in name
     /// order after any explicit phases). Histograms named `*_per_sec`
-    /// hold observed rates and histograms named `*_min` hold
-    /// simulated-time integrals (e.g. `sim.repair.time_to_redundancy_min`);
-    /// neither is wall time, so both are skipped.
+    /// hold observed rates, histograms named `*_min` hold
+    /// simulated-time integrals (e.g. `sim.repair.time_to_redundancy_min`),
+    /// and histograms named `*_pctl` hold per-request distributions
+    /// reported as percentiles (e.g. `sim.admission.wait_min_pctl`);
+    /// none is wall time, so all three are skipped.
     pub fn with_snapshot(mut self, snapshot: &Snapshot) -> Self {
         self.counters
             .extend(snapshot.counters.iter().map(|(name, &v)| (name.clone(), v)));
         for (name, stats) in &snapshot.histograms {
-            if name.ends_with("_per_sec") || name.ends_with("_min") {
+            if name.ends_with("_per_sec") || name.ends_with("_min") || name.ends_with("_pctl") {
                 continue;
             }
             self.phases.push(PhaseTiming {
@@ -205,6 +207,19 @@ mod tests {
         let record = RunRecord::new("x", 1).with_snapshot(&telemetry.snapshot());
         assert!(record.phases.iter().any(|p| p.name == "sim.run"));
         assert!(!record.phases.iter().any(|p| p.name.ends_with("_min")));
+    }
+
+    #[test]
+    fn percentile_histograms_do_not_become_phases() {
+        let telemetry = Telemetry::enabled();
+        drop(telemetry.span("sim.run"));
+        // Per-request wait-time distribution in simulated minutes.
+        telemetry
+            .histogram("sim.admission.wait_min_pctl")
+            .observe(1.5);
+        let record = RunRecord::new("x", 1).with_snapshot(&telemetry.snapshot());
+        assert!(record.phases.iter().any(|p| p.name == "sim.run"));
+        assert!(!record.phases.iter().any(|p| p.name.ends_with("_pctl")));
     }
 
     #[test]

@@ -52,6 +52,27 @@ pub fn ci95_half_width(xs: &[f64]) -> f64 {
     1.96 * sample_std(xs) / (xs.len() as f64).sqrt()
 }
 
+/// Empirical `q`-quantile (`q ∈ [0, 1]`) by linear interpolation between
+/// order statistics (the common "type 7" estimator). Sorts a copy; 0 for
+/// an empty sample. Non-finite entries are rejected by debug assertion.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +120,17 @@ mod tests {
         assert_eq!(sample_mean(&[]), 0.0);
         assert_eq!(sample_std(&[3.0]), 0.0);
         assert_eq!(ci95_half_width(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
     }
 
     #[test]

@@ -225,4 +225,114 @@ proptest! {
         prop_assert!(report.is_conservative());
         prop_assert!(report.disrupted <= report.admitted);
     }
+
+    /// Random overload policies (patience, retries, degradation) under
+    /// random brownout schedules conserve every request and keep goodput
+    /// in [0, 1]. `audit: true` has the runtime invariant auditor check
+    /// request conservation and bandwidth/storage non-negativity after
+    /// every event — an `Err` from `run` fails the property.
+    #[test]
+    fn overload_and_brownouts_never_break_conservation(
+        seed in any::<u64>(),
+        patience in 0.0f64..3.0,
+        retries in 0u32..4,
+        degrades in any::<bool>(),
+        lambda in 10.0f64..60.0,
+        bo_mtbf in 20.0f64..80.0,
+        bo_mttr in 2.0f64..20.0,
+        frac in 0.2f64..0.85,
+    ) {
+        use vod_core::prelude::*;
+        use vod_sim::{AdmissionConfig, BrownoutModel, FailoverPolicy, FailureModel, QueuePolicy};
+        let m = 24;
+        let planner = ClusterPlanner::builder()
+            .catalog(Catalog::paper_default(m).unwrap())
+            .cluster(ClusterSpec::paper_default(8)) // degree ~2: replicas exist
+            .popularity(Popularity::zipf(m, 1.0).unwrap())
+            .demand_requests(1_000.0)
+            .build()
+            .unwrap();
+        let plan = planner
+            .plan(ReplicationAlgo::ZipfInterval, PlacementAlgo::SmallestLoadFirst)
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(lambda, planner.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng);
+        let config = SimConfig {
+            policy: AdmissionPolicy::RoundRobinFailover,
+            failure_model: Some(FailureModel::brownouts_only(
+                BrownoutModel {
+                    mtbf_min: bo_mtbf,
+                    mttr_min: bo_mttr,
+                    min_capacity_frac: frac,
+                    max_capacity_frac: (frac + 0.1).min(1.0),
+                },
+                seed,
+            )),
+            failover: FailoverPolicy::ResumeOrDegrade,
+            admission: AdmissionConfig {
+                policy: if degrades {
+                    QueuePolicy::QueueOrDegrade { patience_min: patience }
+                } else {
+                    QueuePolicy::Queue { patience_min: patience }
+                },
+                max_retries: retries,
+                seed,
+                ..AdmissionConfig::default()
+            },
+            audit: true,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(planner.catalog(), planner.cluster(), &plan.layout, config)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        prop_assert!(report.is_conservative());
+        prop_assert!(report.goodput >= 0.0 && report.goodput <= 1.0 + 1e-9, "{}", report.goodput);
+        prop_assert!(report.degraded_served <= report.admitted);
+    }
+
+    /// A passive admission config — zero patience, zero retries — is
+    /// byte-identical to the default blocking engine for any workload
+    /// seed and any (inert) admission seed.
+    #[test]
+    fn passive_pipeline_matches_block_for_any_seed(
+        seed in any::<u64>(),
+        admission_seed in any::<u64>(),
+        lambda in 10.0f64..60.0,
+    ) {
+        use vod_core::prelude::*;
+        use vod_sim::{AdmissionConfig, QueuePolicy};
+        let m = 24;
+        let planner = ClusterPlanner::builder()
+            .catalog(Catalog::paper_default(m).unwrap())
+            .cluster(ClusterSpec::paper_default(5))
+            .popularity(Popularity::zipf(m, 1.0).unwrap())
+            .demand_requests(1_000.0)
+            .build()
+            .unwrap();
+        let plan = planner
+            .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(lambda, planner.popularity(), 90.0)
+            .unwrap()
+            .generate(&mut rng);
+        let run = |admission: AdmissionConfig| {
+            let config = SimConfig { admission, ..SimConfig::default() };
+            let report = Simulation::new(planner.catalog(), planner.cluster(), &plan.layout, config)
+                .unwrap()
+                .run(&trace)
+                .unwrap();
+            serde_json::to_string(&report).unwrap()
+        };
+        let block = run(AdmissionConfig::default());
+        let passive_queue = run(AdmissionConfig {
+            policy: QueuePolicy::Queue { patience_min: 0.0 },
+            seed: admission_seed,
+            ..AdmissionConfig::default()
+        });
+        prop_assert_eq!(block, passive_queue);
+    }
 }

@@ -125,6 +125,18 @@ pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<
     T::from_value(v).map_err(|e| e.in_context(name))
 }
 
+/// Like [`field`], but a missing key yields `T::default()` instead of an
+/// error — backs the derive's field-level `#[serde(default)]`.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_context(name)),
+        None => Ok(T::default()),
+    }
+}
+
 // ---- primitive impls ----
 
 macro_rules! ser_uint {

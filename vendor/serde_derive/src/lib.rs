@@ -9,10 +9,12 @@
 //! * tuple structs (arity 1 is transparent, like serde's newtype),
 //! * enums with unit, struct and newtype variants (external tagging).
 //!
-//! `#[serde(...)]` attributes and generics are not supported and
-//! panic with a clear message.
+//! The only `#[serde(...)]` attribute understood is field-level
+//! `#[serde(default)]` (missing keys deserialize to `Default::default()`);
+//! any other serde attribute — and generics — panics with a clear
+//! message rather than being silently ignored.
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::iter::Peekable;
 
 // ---- parsed shapes ----
@@ -20,7 +22,7 @@ use std::iter::Peekable;
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -32,6 +34,13 @@ enum Item {
     },
 }
 
+struct Field {
+    name: String,
+    /// Field carried `#[serde(default)]`: deserialize a missing key to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 struct Variant {
     name: String,
     kind: VariantKind,
@@ -39,7 +48,7 @@ struct Variant {
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -47,14 +56,39 @@ enum VariantKind {
 
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Skips `#[...]` attributes and `pub`/`pub(...)` visibility.
-fn skip_attrs_and_vis(iter: &mut Tokens) {
+/// Inspects one bracketed attribute body. Returns `true` for exactly
+/// `serde(default)`; panics on any other `serde(...)` so unsupported
+/// attributes fail loudly instead of silently deserializing wrong.
+fn attr_is_serde_default(body: &Group) -> bool {
+    let mut toks = body.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "default" => true,
+                _ => panic!(
+                    "serde derive (vendored): only `#[serde(default)]` is supported, \
+                     found `#[serde({})]`",
+                    args.iter().map(|t| t.to_string()).collect::<String>()
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` attributes and `pub`/`pub(...)` visibility, reporting
+/// whether a `#[serde(default)]` attribute was among them.
+fn skip_attrs_and_vis(iter: &mut Tokens) -> bool {
+    let mut has_default = false;
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
                 // The bracketed attribute body.
-                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    has_default |= attr_is_serde_default(&g);
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 iter.next();
@@ -64,7 +98,7 @@ fn skip_attrs_and_vis(iter: &mut Tokens) {
                     }
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
     }
 }
@@ -78,11 +112,11 @@ fn expect_ident(iter: &mut Tokens, what: &str) -> String {
 
 /// Splits a field-list token stream at top-level commas, tracking `<...>`
 /// nesting depth so types like `Vec<(u32, u32)>` don't split early.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut iter);
+        let default = skip_attrs_and_vis(&mut iter);
         let name = match iter.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -92,7 +126,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Consume the type up to the next top-level comma.
         let mut angle_depth = 0i32;
         for tok in iter.by_ref() {
@@ -216,6 +250,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -260,10 +295,15 @@ fn gen_serialize(item: &Item) -> String {
                              ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
                         ),
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from(\"{f}\"), \
                                          ::serde::Serialize::to_value({f})),"
@@ -309,13 +349,23 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// One `name: <lookup>(...)?,` struct-literal entry for deserializing a
+/// named field, routing `#[serde(default)]` fields through
+/// `field_or_default`.
+fn field_init(f: &Field) -> String {
+    let Field { name, default } = f;
+    let get = if *default {
+        "field_or_default"
+    } else {
+        "field"
+    };
+    format!("{name}: ::serde::{get}(__entries, \"{name}\")?,")
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(__entries, \"{f}\")?,"))
-                .collect();
+            let inits: String = fields.iter().map(field_init).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) \
@@ -374,7 +424,11 @@ fn gen_deserialize(item: &Item) -> String {
                         VariantKind::Named(fields) => {
                             let inits: String = fields
                                 .iter()
-                                .map(|f| format!("{f}: ::serde::field(__fields, \"{f}\")?,"))
+                                .map(|f| {
+                                    let Field { name: f, default } = f;
+                                    let get = if *default { "field_or_default" } else { "field" };
+                                    format!("{f}: ::serde::{get}(__fields, \"{f}\")?,")
+                                })
                                 .collect();
                             Some(format!(
                                 "\"{vname}\" => match __inner.as_object() {{\n\
