@@ -1,0 +1,91 @@
+//! Macro benchmark: a full A-1-scale peak-period replay, reported in
+//! *events per second* (arrivals + departures + transitions + samples +
+//! retries + abandonments — the same event count the perf-smoke gate and
+//! the `sim.events` telemetry counter use).
+//!
+//! Three flavors of the same 200-video, Zipf(1.0), Adams/SLF world:
+//!
+//! * `steady`   — the paper's failure-free default at capacity load;
+//! * `overload` — 10× arrival rate, so the run is dominated by
+//!   dispatch-and-reject scans and departure-queue churn;
+//! * `chaos`    — stochastic crashes + brownouts with stream failover and
+//!   mid-run repair, the path that hammers `extract_active`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vod_core::prelude::*;
+use vod_sim::{BrownoutModel, FailoverPolicy, FailureModel, RepairConfig};
+use vod_workload::Trace;
+
+fn world(m: usize, slots: u64) -> (ClusterPlanner, Plan) {
+    let planner = ClusterPlanner::builder()
+        .catalog(Catalog::paper_default(m).unwrap())
+        .cluster(ClusterSpec::paper_default(slots))
+        .popularity(Popularity::zipf(m, 1.0).unwrap())
+        .demand_requests(3_600.0)
+        .build()
+        .unwrap();
+    let plan = planner
+        .plan(ReplicationAlgo::Adams, PlacementAlgo::SmallestLoadFirst)
+        .unwrap();
+    (planner, plan)
+}
+
+fn trace(planner: &ClusterPlanner, lambda: f64, seed: u64) -> Trace {
+    let generator = TraceGenerator::new(lambda, planner.popularity(), 90.0).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generator.generate(&mut rng)
+}
+
+fn chaos_config() -> SimConfig {
+    let mut model = FailureModel::exponential(25.0, 8.0, 0xA1_5EED);
+    model.brownouts = Some(BrownoutModel {
+        mtbf_min: 40.0,
+        mttr_min: 6.0,
+        min_capacity_frac: 0.4,
+        max_capacity_frac: 0.8,
+    });
+    SimConfig {
+        failure_model: Some(model),
+        failover: FailoverPolicy::ResumeOrDegrade,
+        repair: RepairConfig {
+            bandwidth_kbps: 8_000,
+            max_concurrent: 4,
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// Counts one run's events on a throwaway telemetry handle so the
+/// benchmark can report elements (= events) per second.
+fn count_events(sim: &Simulation, trace: &Trace) -> u64 {
+    let telemetry = vod_telemetry::Telemetry::enabled();
+    sim.run_with_telemetry(trace, &telemetry).unwrap();
+    telemetry.snapshot().counter("sim.events")
+}
+
+fn bench_a1_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_macro");
+    group.sample_size(15);
+    let (planner, plan) = world(200, 30);
+    let cases = [
+        ("steady", 40.0, SimConfig::default()),
+        ("overload", 400.0, SimConfig::default()),
+        ("chaos", 40.0, chaos_config()),
+    ];
+    for (name, lambda, config) in cases {
+        let trace = trace(&planner, lambda, 9);
+        let sim =
+            Simulation::new(planner.catalog(), planner.cluster(), &plan.layout, config).unwrap();
+        group.throughput(Throughput::Elements(count_events(&sim, &trace)));
+        group.bench_with_input(BenchmarkId::new("replay", name), &lambda, |b, _| {
+            b.iter(|| black_box(sim.run(black_box(&trace)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_a1_macro);
+criterion_main!(benches);

@@ -234,16 +234,20 @@ fn perf_smoke(
         let baseline: Baseline = serde_json::from_str(&std::fs::read_to_string(path)?)?;
         let floor = baseline.events_per_sec;
         let threshold = 0.7 * floor;
+        let delta_pct = 100.0 * (events_per_sec / floor - 1.0);
         if events_per_sec < threshold {
             return Err(format!(
                 "perf smoke regression: {events_per_sec:.0} events/sec is more than 30% \
-                 below the baseline {floor:.0} (threshold {threshold:.0})"
+                 below the baseline {floor:.0} (threshold {threshold:.0}, \
+                 delta {delta_pct:+.1}%)"
             )
             .into());
         }
+        // Machine-greppable delta line (CI lifts it into the job summary).
+        println!("PERF_SMOKE_DELTA baseline={floor:.0} measured={events_per_sec:.0} delta_pct={delta_pct:+.1}");
         eprintln!(
             "perf smoke ok: {events_per_sec:.0} events/sec >= threshold {threshold:.0} \
-             (baseline {floor:.0})"
+             (baseline {floor:.0}, delta {delta_pct:+.1}%)"
         );
     }
     Ok(())

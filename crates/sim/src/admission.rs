@@ -216,8 +216,13 @@ impl AdmissionState {
     }
 
     /// Earliest live abandonment deadline (stale heap entries are
-    /// discarded on the way).
+    /// discarded on the way). With nothing queued every heap entry is
+    /// stale, so the hot path returns without popping them — they are
+    /// discarded whenever a live deadline is next looked up.
     pub fn next_deadline(&mut self) -> Option<SimTime> {
+        if self.queue.is_empty() {
+            return None;
+        }
         while let Some(Reverse((at, seq))) = self.deadlines.peek().copied() {
             if self.queue.contains_key(&seq) {
                 return Some(at);
@@ -270,9 +275,19 @@ impl AdmissionState {
         self.retry_map.remove(&seq)
     }
 
-    /// The waiting requests in FIFO order (for capacity-aware draining).
+    /// The waiting requests in FIFO order (test convenience; the engine
+    /// drains through [`Self::fifo_seqs_into`]).
+    #[cfg(test)]
     pub fn fifo_seqs(&self) -> Vec<u64> {
         self.queue.keys().copied().collect()
+    }
+
+    /// The waiting requests in FIFO order, into a reusable buffer
+    /// (cleared first) — the engine's post-event drain path, so steady
+    /// state allocates nothing.
+    pub fn fifo_seqs_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.queue.keys().copied());
     }
 
     /// The waiting request with sequence number `seq`, if still queued.

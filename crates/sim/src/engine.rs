@@ -169,7 +169,10 @@ impl<'a> Simulation<'a> {
     /// `sim.rejected`, `sim.redirected`, `sim.departures`,
     /// `sim.disrupted`, `sim.transitions`, `sim.samples`,
     /// `sim.admission_probes`, `sim.events`; span `sim.run` (seconds);
-    /// histogram `sim.events_per_sec` (one observation per run). With
+    /// histograms `sim.events_per_sec` and its manifest-facing twin
+    /// `sim.engine.events_per_sec` (one observation per run) and
+    /// `sim.queue.peak_len` (per-run peak of concurrently scheduled
+    /// departures). With
     /// recovery active, additionally: counters `sim.streams.resumed`,
     /// `sim.streams.degraded`, `sim.repair.bytes_copied`,
     /// `sim.repair.copies`; histogram `sim.repair.time_to_redundancy_min`
@@ -208,18 +211,25 @@ impl<'a> Simulation<'a> {
 
         // Fixed outages plus, when configured, the stochastic model's
         // draws for this horizon (deterministic per the model's seed).
-        let plan = match &self.config.failure_model {
+        // The compiled plan is consumed, not cloned, and the fixed plan
+        // is only copied when the two actually have to merge.
+        let transitions = match &self.config.failure_model {
             Some(model) => {
                 let compiled = model.compile(self.cluster.len(), self.config.horizon_min)?;
-                let mut outages = compiled.outages().to_vec();
-                outages.extend_from_slice(self.config.failures.outages());
-                let mut brownouts = compiled.brownouts().to_vec();
-                brownouts.extend_from_slice(self.config.failures.brownouts());
-                FailurePlan::merged(outages)?.add_brownouts(brownouts)?
+                if self.config.failures.is_empty() {
+                    // `compile` already merged its own overlaps.
+                    compiled.transitions()
+                } else {
+                    let (mut outages, mut brownouts) = compiled.into_parts();
+                    outages.extend_from_slice(self.config.failures.outages());
+                    brownouts.extend_from_slice(self.config.failures.brownouts());
+                    FailurePlan::merged(outages)?
+                        .add_brownouts(brownouts)?
+                        .transitions()
+                }
             }
-            None => self.config.failures.clone(),
+            None => self.config.failures.transitions(),
         };
-        let transitions = plan.transitions();
         // The recovery subsystem engages only when failures can happen.
         // With repair disabled it is pure bookkeeping: its content map
         // stays identical to the bound layout, so dispatch is unchanged.
@@ -238,12 +248,13 @@ impl<'a> Simulation<'a> {
             links: LinkState::new(self.cluster),
             dispatcher: Dispatcher::new(self.config.policy, self.catalog.len()),
             metrics: MetricsCollector::new(self.catalog.len()),
-            departures: DepartureQueue::new(),
+            departures: DepartureQueue::with_capacity(self.cluster.len()),
             controller,
             layout: self.layout,
             transitions,
             next_transition: 0,
             next_sample_min: 0.0,
+            next_sample_at: Some(SimTime::from_min(0.0)),
             sample_step: self.config.sample_interval_min,
             horizon: self.config.horizon_min,
             failover: self.config.failover,
@@ -251,6 +262,9 @@ impl<'a> Simulation<'a> {
             auditor: (cfg!(debug_assertions) || self.config.audit).then(Auditor::new),
             brownout_started: vec![None; self.cluster.len()],
             brownout_min: 0.0,
+            load_scratch: Vec::new(),
+            extract_scratch: Vec::new(),
+            fifo_scratch: Vec::new(),
         };
         state.metrics.record_series(self.config.record_series);
 
@@ -353,11 +367,19 @@ impl<'a> Simulation<'a> {
         if telemetry.is_enabled() {
             let events = ct.events() - events_before;
             telemetry.counter("sim.events").add(events);
+            telemetry
+                .histogram("sim.queue.peak_len")
+                .observe(state.departures.peak_len() as f64);
             let elapsed = span.elapsed_secs();
             if elapsed > 0.0 {
+                let rate = events as f64 / elapsed;
+                // `sim.events_per_sec` is the historical name; the
+                // `sim.engine.`-prefixed twin keys BENCH_*.json-style
+                // trajectories derived from run manifests.
+                telemetry.histogram("sim.events_per_sec").observe(rate);
                 telemetry
-                    .histogram("sim.events_per_sec")
-                    .observe(events as f64 / elapsed);
+                    .histogram("sim.engine.events_per_sec")
+                    .observe(rate);
             }
         }
 
@@ -415,6 +437,9 @@ struct RunState<'a> {
     transitions: Vec<Transition>,
     next_transition: usize,
     next_sample_min: f64,
+    /// `next_sample_min` converted once per sample instead of once per
+    /// pump iteration (`None` past the horizon).
+    next_sample_at: Option<SimTime>,
     sample_step: f64,
     horizon: f64,
     failover: FailoverPolicy,
@@ -424,6 +449,12 @@ struct RunState<'a> {
     brownout_started: Vec<Option<SimTime>>,
     /// Accumulated server·minutes of brownout (closed windows).
     brownout_min: f64,
+    /// Reusable buffer for per-sample stream loads.
+    load_scratch: Vec<f64>,
+    /// Reusable buffer for failover extractions.
+    extract_scratch: Vec<Departure>,
+    /// Reusable buffer for FIFO queue drains.
+    fifo_scratch: Vec<u64>,
 }
 
 impl RunState<'_> {
@@ -437,11 +468,10 @@ impl RunState<'_> {
             let tr_at = self.transitions.get(self.next_transition).map(|x| x.at);
             let aband_at = self.admission.next_deadline();
             let retry_at = self.admission.next_retry();
-            let sample_at = (self.next_sample_min <= self.horizon)
-                .then(|| SimTime::from_min(self.next_sample_min));
+            let sample_at = self.next_sample_at;
 
             let candidates = [dep_at, rep_at, tr_at, aband_at, retry_at, sample_at];
-            let Some(min_at) = candidates.iter().flatten().min().copied() else {
+            let Some(min_at) = candidates.into_iter().flatten().min() else {
                 break;
             };
             if min_at > t {
@@ -519,9 +549,12 @@ impl RunState<'_> {
                 self.handle_request(min_at, req, ct);
             } else {
                 ct.samples.inc();
+                self.links.stream_loads_into(&mut self.load_scratch);
                 self.metrics
-                    .sample_loads(&self.links.stream_loads(), self.next_sample_min);
+                    .sample_loads(&self.load_scratch, self.next_sample_min);
                 self.next_sample_min += self.sample_step;
+                self.next_sample_at = (self.next_sample_min <= self.horizon)
+                    .then(|| SimTime::from_min(self.next_sample_min));
             }
             self.audit_check(min_at)?;
         }
@@ -658,7 +691,9 @@ impl RunState<'_> {
         if self.admission.queue_len() == 0 {
             return;
         }
-        for seq in self.admission.fifo_seqs() {
+        let mut seqs = std::mem::take(&mut self.fifo_scratch);
+        self.admission.fifo_seqs_into(&mut seqs);
+        for &seq in &seqs {
             let Some(req) = self.admission.get(seq) else {
                 continue;
             };
@@ -666,6 +701,7 @@ impl RunState<'_> {
                 self.admission.remove(seq);
             }
         }
+        self.fifo_scratch = seqs;
     }
 
     /// Brownout onset: shrink the link's effective capacity; when the
@@ -689,9 +725,9 @@ impl RunState<'_> {
         if over(&self.links) == 0 {
             return;
         }
-        let mut active = self
-            .departures
-            .extract_active(server, self.links.epoch(server));
+        let mut active = std::mem::take(&mut self.extract_scratch);
+        self.departures
+            .extract_active_into(server, self.links.epoch(server), &mut active);
         let (mut disrupted, mut resumed, mut degraded) = (0u64, 0u64, 0u64);
         while over(&self.links) > 0 {
             // Ascending (time, seq): pop sheds the latest-ending stream.
@@ -721,9 +757,10 @@ impl RunState<'_> {
                 }
             }
         }
-        for d in active {
+        for d in active.drain(..) {
             self.departures.push(d);
         }
+        self.extract_scratch = active;
         if disrupted > 0 {
             ct.disrupted.add(disrupted);
             self.metrics.on_disrupted(disrupted);
@@ -752,12 +789,13 @@ impl RunState<'_> {
     /// Server failure: rescue its active streams if the failover policy
     /// allows, then hand the topology change to the repair controller.
     fn on_down(&mut self, at: SimTime, server: ServerId, ct: &EngineCounters) {
-        let rescued = if self.failover == FailoverPolicy::Kill {
-            Vec::new()
+        let mut rescued = std::mem::take(&mut self.extract_scratch);
+        if self.failover == FailoverPolicy::Kill {
+            rescued.clear();
         } else {
             self.departures
-                .extract_active(server, self.links.epoch(server))
-        };
+                .extract_active_into(server, self.links.epoch(server), &mut rescued);
+        }
         let dropped = self.links.fail(server) as u64;
         // Repair claims its copy bandwidth on the survivors *first*:
         // without this priority, failed-over streams (plus fresh arrivals)
@@ -774,7 +812,7 @@ impl RunState<'_> {
         }
         let mut disrupted = dropped - rescued.len() as u64;
         let (mut resumed, mut degraded) = (0u64, 0u64);
-        for d in rescued {
+        for d in rescued.drain(..) {
             match self.rescue_stream(at, &d, server) {
                 Rescued::Full => resumed += 1,
                 Rescued::Degraded => degraded += 1,
@@ -790,6 +828,7 @@ impl RunState<'_> {
                 }
             }
         }
+        self.extract_scratch = rescued;
         if disrupted > 0 {
             ct.disrupted.add(disrupted);
             self.metrics.on_disrupted(disrupted);

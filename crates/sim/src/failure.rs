@@ -298,6 +298,13 @@ impl FailurePlan {
         self.outages.is_empty() && self.brownouts.is_empty()
     }
 
+    /// Decomposes the plan into its outages and brownouts. Used by the
+    /// engine to merge a compiled stochastic plan with fixed failures
+    /// without re-cloning either side.
+    pub(crate) fn into_parts(self) -> (Vec<Outage>, Vec<Brownout>) {
+        (self.outages, self.brownouts)
+    }
+
     /// Flattens into time-sorted state transitions for the engine.
     pub(crate) fn transitions(&self) -> Vec<Transition> {
         let mut t: Vec<Transition> =

@@ -22,8 +22,16 @@ pub struct LinkState {
     used_kbps: Vec<u64>,
     repair_kbps: Vec<u64>,
     streams: Vec<u32>,
-    up: Vec<bool>,
+    /// Availability bitmask, one bit per server (bit set = up), packed
+    /// into u64 words so alive-replica scans read 64 servers per load.
+    up: Vec<u64>,
     epoch: Vec<u32>,
+}
+
+/// Splits a server index into its (word, bit) position in the up-bitmask.
+#[inline]
+fn bit(j: usize) -> (usize, u64) {
+    (j / 64, 1u64 << (j % 64))
 }
 
 impl LinkState {
@@ -31,13 +39,18 @@ impl LinkState {
     pub fn new(cluster: &ClusterSpec) -> Self {
         let capacity_kbps: Vec<u64> = cluster.servers().iter().map(|s| s.bandwidth_kbps).collect();
         let n = capacity_kbps.len();
+        let mut up = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            // Clear the bits past the last server so the mask is exact.
+            *up.last_mut().expect("n > 0 implies a mask word") = (1u64 << (n % 64)) - 1;
+        }
         LinkState {
             effective_kbps: capacity_kbps.clone(),
             capacity_kbps,
             used_kbps: vec![0; n],
             repair_kbps: vec![0; n],
             streams: vec![0; n],
-            up: vec![true; n],
+            up,
             epoch: vec![0; n],
         }
     }
@@ -45,7 +58,15 @@ impl LinkState {
     /// Whether `server` is currently up.
     #[inline]
     pub fn is_up(&self, server: ServerId) -> bool {
-        self.up[server.index()]
+        let (w, m) = bit(server.index());
+        self.up[w] & m != 0
+    }
+
+    /// The availability bitmask, one bit per server (bit set = up),
+    /// packed little-endian into u64 words.
+    #[inline]
+    pub fn up_mask(&self) -> &[u64] {
+        &self.up
     }
 
     /// The server's failure epoch (bumped on every failure).
@@ -62,7 +83,8 @@ impl LinkState {
         self.streams[j] = 0;
         self.used_kbps[j] = 0;
         self.repair_kbps[j] = 0;
-        self.up[j] = false;
+        let (w, m) = bit(j);
+        self.up[w] &= !m;
         self.epoch[j] += 1;
         dropped
     }
@@ -71,7 +93,8 @@ impl LinkState {
     /// outage: the link comes back at its degraded effective capacity
     /// until the scheduled brownout end clears it.
     pub fn recover(&mut self, server: ServerId) {
-        self.up[server.index()] = true;
+        let (w, m) = bit(server.index());
+        self.up[w] |= m;
     }
 
     /// Starts a brownout: the link's effective capacity drops to
@@ -122,7 +145,8 @@ impl LinkState {
     #[inline]
     pub fn can_admit(&self, server: ServerId, kbps: u64) -> bool {
         let j = server.index();
-        self.up[j] && self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]
+        self.is_up(server)
+            && self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]
     }
 
     /// Free outgoing bandwidth on `server`, in kbps (0 while down), net
@@ -132,7 +156,7 @@ impl LinkState {
     #[inline]
     pub fn free_kbps(&self, server: ServerId) -> u64 {
         let j = server.index();
-        if !self.up[j] {
+        if !self.is_up(server) {
             return 0;
         }
         self.effective_kbps[j].saturating_sub(self.used_kbps[j] + self.repair_kbps[j])
@@ -154,7 +178,7 @@ impl LinkState {
     #[inline]
     pub fn reserve_repair(&mut self, server: ServerId, kbps: u64) {
         let j = server.index();
-        debug_assert!(self.up[j]);
+        debug_assert!(self.is_up(server));
         debug_assert!(self.used_kbps[j] + self.repair_kbps[j] + kbps <= self.effective_kbps[j]);
         self.repair_kbps[j] += kbps;
     }
@@ -165,7 +189,7 @@ impl LinkState {
     #[inline]
     pub fn release_repair(&mut self, server: ServerId, kbps: u64) {
         let j = server.index();
-        if !self.up[j] {
+        if !self.is_up(server) {
             return;
         }
         debug_assert!(self.repair_kbps[j] >= kbps);
@@ -202,6 +226,13 @@ impl LinkState {
     /// Per-server loads as floats (for imbalance metrics), in streams.
     pub fn stream_loads(&self) -> Vec<f64> {
         self.streams.iter().map(|&s| s as f64).collect()
+    }
+
+    /// [`Self::stream_loads`] into a reusable buffer (cleared first) —
+    /// the engine's per-sample path, so steady state allocates nothing.
+    pub fn stream_loads_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.streams.iter().map(|&s| s as f64));
     }
 
     /// Total active streams.

@@ -12,16 +12,27 @@
 //! Running under `cargo bench` passes `--bench`; `cargo test --benches`
 //! passes `--test`, in which case each benchmark executes exactly once
 //! as a smoke check. Unknown flags are ignored.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `CRITERION_SAMPLE_SIZE=N` overrides every group's `sample_size`
+//!   (CI uses a reduced count to keep the bench job fast).
+//! * `CRITERION_JSON=path` appends one JSON object per benchmark to
+//!   `path` — `{"id", "mean_ns", "min_ns", "max_ns", "samples",
+//!   "throughput"}` — for machine-readable artifacts.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-/// Measurement configuration shared by all groups (CLI-driven).
+/// Measurement configuration shared by all groups (CLI- and env-driven).
 #[derive(Debug, Clone)]
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
+    sample_override: Option<usize>,
+    json_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -42,7 +53,19 @@ impl Default for Criterion {
                 s => filter = Some(s.to_string()),
             }
         }
-        Criterion { test_mode, filter }
+        let sample_override = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 2);
+        let json_path = std::env::var("CRITERION_JSON")
+            .ok()
+            .filter(|p| !p.is_empty());
+        Criterion {
+            test_mode,
+            filter,
+            sample_override,
+            json_path,
+        }
     }
 }
 
@@ -149,7 +172,7 @@ impl BenchmarkGroup<'_> {
             sample_size: if self.criterion.test_mode {
                 1
             } else {
-                self.sample_size
+                self.criterion.sample_override.unwrap_or(self.sample_size)
             },
             test_mode: self.criterion.test_mode,
         };
@@ -158,7 +181,12 @@ impl BenchmarkGroup<'_> {
             println!("{full}: ok (test mode)");
             return;
         }
-        report(&full, &bencher.samples, self.throughput);
+        report(
+            &full,
+            &bencher.samples,
+            self.throughput,
+            self.criterion.json_path.as_deref(),
+        );
     }
 }
 
@@ -197,7 +225,7 @@ impl Bencher {
     }
 }
 
-fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>, json_path: Option<&str>) {
     if samples.is_empty() {
         println!("{id}: no samples");
         return;
@@ -206,26 +234,67 @@ fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
-    let rate = throughput.map(|t| {
+    let per_sec = throughput.and_then(|t| {
         let (units, label) = match t {
             Throughput::Elements(n) => (n, "elem/s"),
             Throughput::Bytes(n) => (n, "B/s"),
         };
         let secs = mean.as_secs_f64();
-        if secs > 0.0 {
-            format!("  thrpt: {:.4e} {label}", units as f64 / secs)
-        } else {
-            String::new()
-        }
+        (secs > 0.0).then(|| (units as f64 / secs, label))
     });
+    let rate = per_sec
+        .map(|(rate, label)| format!("  thrpt: {rate:.4e} {label}"))
+        .unwrap_or_default();
     println!(
         "{id}: mean {:?}  min {:?}  max {:?}  ({} samples){}",
         mean,
         min,
         max,
         samples.len(),
-        rate.unwrap_or_default()
+        rate
     );
+    if let Some(path) = json_path {
+        if let Err(err) = append_json_line(path, id, mean, min, max, samples.len(), per_sec) {
+            eprintln!("criterion: failed to write {path}: {err}");
+        }
+    }
+}
+
+/// Appends one JSON object (newline-delimited) describing a finished
+/// benchmark. Hand-formatted: the vendored crate deliberately has no
+/// serde dependency, and benchmark ids are plain ASCII paths.
+fn append_json_line(
+    path: &str,
+    id: &str,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+    per_sec: Option<(f64, &str)>,
+) -> std::io::Result<()> {
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let throughput = match per_sec {
+        Some((rate, label)) => format!(r#"{{"per_sec":{rate:.1},"unit":"{label}"}}"#),
+        None => "null".to_string(),
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        r#"{{"id":"{escaped}","mean_ns":{},"min_ns":{},"max_ns":{},"samples":{samples},"throughput":{throughput}}}"#,
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    )
 }
 
 /// Collects benchmark functions into a runner invoked by
@@ -271,6 +340,45 @@ mod tests {
     }
 
     #[test]
+    fn json_lines_append_and_escape() {
+        let path = std::env::temp_dir().join(format!("criterion-json-test-{}", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append_json_line(
+            path,
+            "group/\"quoted\"",
+            Duration::from_nanos(1_500),
+            Duration::from_nanos(1_000),
+            Duration::from_nanos(2_000),
+            10,
+            Some((1.25e6, "elem/s")),
+        )
+        .unwrap();
+        append_json_line(
+            path,
+            "group/plain",
+            Duration::from_nanos(10),
+            Duration::from_nanos(10),
+            Duration::from_nanos(10),
+            2,
+            None,
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        let _ = std::fs::remove_file(path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"id":"group/\"quoted\"","mean_ns":1500,"min_ns":1000,"max_ns":2000,"samples":10,"throughput":{"per_sec":1250000.0,"unit":"elem/s"}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"id":"group/plain","mean_ns":10,"min_ns":10,"max_ns":10,"samples":2,"throughput":null}"#
+        );
+    }
+
+    #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("adams", 200).to_string(), "adams/200");
     }
@@ -280,6 +388,8 @@ mod tests {
         let mut c = Criterion {
             test_mode: true,
             filter: None,
+            sample_override: None,
+            json_path: None,
         };
         let mut ran = 0;
         let mut group = c.benchmark_group("g");
