@@ -16,18 +16,32 @@
 //!   the authors enumerate: the Eq. (1) cost function, the
 //!   lowest-rate/round-robin initial solution, and the
 //!   raise-rate-or-add-replica neighborhood with constraint repair.
+//!
+//! The engine is **delta-evaluated**: problems expose reversible in-place
+//! moves ([`engine::AnnealProblem`]) over search states carrying cached
+//! per-server aggregates ([`problem::ScalableSearch`],
+//! [`multirate::MultiRateSearch`]), so a Metropolis step costs
+//! O(touched servers) instead of a full O(M·N) recompute. Clone-based
+//! problems still work through [`engine::NeighborProblem`] and the
+//! [`engine::CloneAdapter`] (also the legacy path for A/B benchmarks).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod delta;
 pub mod engine;
 pub mod multirate;
 pub mod parallel;
 pub mod problem;
 pub mod schedule;
 
-pub use engine::{anneal, anneal_with_telemetry, AnnealParams, AnnealProblem, AnnealResult};
-pub use multirate::{MultiRateProblem, MultiRateState, RatedReplica};
+pub use engine::{
+    anneal, anneal_neighbor, anneal_with_telemetry, AnnealParams, AnnealProblem, AnnealResult,
+    CloneAdapter, NeighborProblem,
+};
+pub use multirate::{
+    MultiRateMove, MultiRateProblem, MultiRateSearch, MultiRateState, RatedReplica,
+};
 pub use parallel::{anneal_parallel, anneal_parallel_with_telemetry, ParallelParams};
-pub use problem::{ScalableProblem, ScalableState};
+pub use problem::{ScalableMove, ScalableProblem, ScalableSearch, ScalableState};
 pub use schedule::CoolingSchedule;

@@ -105,6 +105,7 @@ where
     let mut trajectory = Vec::with_capacity((params.rounds * params.epochs_per_round) as usize);
     let mut accepted = 0u64;
     let mut rejected = 0u64;
+    let mut infeasible = 0u64;
 
     for round in 0..params.rounds {
         let round_params = AnnealParams {
@@ -112,7 +113,9 @@ where
             epochs: params.epochs_per_round,
             steps_per_epoch: params.steps_per_epoch,
         };
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // One slot per chain: every worker sends exactly once, so a
+        // bounded channel never blocks but caps the fan-in buffer.
+        let (tx, rx) = crossbeam::channel::bounded(params.chains as usize);
         std::thread::scope(|scope| {
             for chain in 0..params.chains {
                 let tx = tx.clone();
@@ -143,6 +146,7 @@ where
         for (_, r) in results {
             accepted += r.accepted;
             rejected += r.rejected;
+            infeasible += r.infeasible;
             for (slot, &e) in round_traj.iter_mut().zip(&r.trajectory) {
                 *slot = slot.min(e);
             }
@@ -170,20 +174,22 @@ where
         trajectory,
         accepted,
         rejected,
+        infeasible,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::AnnealProblem;
+    use crate::engine::{CloneAdapter, NeighborProblem};
     use rand::Rng;
 
     /// Rastrigin-flavored 1-D integer landscape with many local minima;
     /// global minimum at x = 0.
-    struct Bumpy;
+    #[derive(Clone, Copy)]
+    struct BumpyLandscape;
 
-    impl AnnealProblem for Bumpy {
+    impl NeighborProblem for BumpyLandscape {
         type State = i64;
         fn energy(&self, s: &i64) -> f64 {
             let x = *s as f64 / 10.0;
@@ -193,6 +199,9 @@ mod tests {
             s + rng.gen_range(-3i64..=3)
         }
     }
+
+    /// The landscape on the move-based engine, via the adapter.
+    const BUMPY: CloneAdapter<BumpyLandscape> = CloneAdapter(BumpyLandscape);
 
     #[test]
     fn parallel_finds_global_minimum() {
@@ -204,7 +213,7 @@ mod tests {
             schedule: CoolingSchedule::default_geometric(20.0),
             seed: 1,
         };
-        let result = anneal_parallel(&Bumpy, 500, &params);
+        let result = anneal_parallel(&BUMPY, 500, &params);
         assert_eq!(result.best_state, 0, "energy {}", result.best_energy);
     }
 
@@ -215,10 +224,37 @@ mod tests {
             rounds: 3,
             ..Default::default()
         };
-        let a = anneal_parallel(&Bumpy, 100, &params);
-        let b = anneal_parallel(&Bumpy, 100, &params);
+        let a = anneal_parallel(&BUMPY, 100, &params);
+        let b = anneal_parallel(&BUMPY, 100, &params);
         assert_eq!(a.best_state, b.best_state);
         assert_eq!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn merge_is_byte_identical_across_reruns_for_any_chain_count() {
+        // Regression guard for the chain-id merge: results must not
+        // depend on thread arrival order, so repeated runs are
+        // bit-identical whether one chain or eight feed the channel.
+        for chains in [1u32, 8] {
+            let params = ParallelParams {
+                chains,
+                epochs_per_round: 5,
+                rounds: 3,
+                steps_per_epoch: 50,
+                schedule: CoolingSchedule::default_geometric(5.0),
+                seed: 9,
+            };
+            let a = anneal_parallel(&BUMPY, 250, &params);
+            let b = anneal_parallel(&BUMPY, 250, &params);
+            assert_eq!(a.best_state, b.best_state, "chains={chains}");
+            assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+            let bits = |t: &[f64]| t.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.trajectory), bits(&b.trajectory));
+            assert_eq!(
+                (a.accepted, a.rejected, a.infeasible),
+                (b.accepted, b.rejected, b.infeasible)
+            );
+        }
     }
 
     #[test]
@@ -230,7 +266,7 @@ mod tests {
             steps_per_epoch: 50,
             ..Default::default()
         };
-        let r = anneal_parallel(&Bumpy, 200, &params);
+        let r = anneal_parallel(&BUMPY, 200, &params);
         assert_eq!(r.trajectory.len(), 20);
         assert!(r.trajectory.windows(2).all(|w| w[1] <= w[0]));
     }
@@ -245,12 +281,12 @@ mod tests {
             schedule: CoolingSchedule::default_geometric(10.0),
             seed: 5,
         };
-        let single = anneal_parallel(&Bumpy, 300, &base);
-        let multi = anneal_parallel(&Bumpy, 300, &ParallelParams { chains: 4, ..base });
+        let single = anneal_parallel(&BUMPY, 300, &base);
+        let multi = anneal_parallel(&BUMPY, 300, &ParallelParams { chains: 4, ..base });
         assert_eq!(single.accepted + single.rejected, 4_000);
         assert_eq!(multi.accepted + multi.rejected, 16_000);
         // Elitist exchange: the result can never be worse than the start.
-        assert!(multi.best_energy <= Bumpy.energy(&300));
+        assert!(multi.best_energy <= BumpyLandscape.energy(&300));
     }
 
     #[test]
@@ -263,7 +299,7 @@ mod tests {
             ..Default::default()
         };
         let telemetry = Telemetry::enabled();
-        let r = anneal_parallel_with_telemetry(&Bumpy, 200, &params, &telemetry);
+        let r = anneal_parallel_with_telemetry(&BUMPY, 200, &params, &telemetry);
         let snap = telemetry.snapshot();
         // 2 chains × 3 rounds × 5 epochs × 40 steps.
         assert_eq!(snap.counter("anneal.proposed"), 1_200);

@@ -22,8 +22,32 @@
 //! Expected bandwidth load: one replica of video `i` carries
 //! `w_i · b_i = (p_i · demand / r_i) · b_i` kbps of expected outgoing
 //! traffic, compared against the server's link capacity (constraint 5).
+//!
+//! # Two search paths
+//!
+//! The problem implements both engine traits:
+//!
+//! * [`NeighborProblem`] over plain [`ScalableState`] — the original
+//!   clone-and-recompute neighborhood, kept as the reference
+//!   implementation and the legacy side of A/B benchmarks;
+//! * [`AnnealProblem`] over [`ScalableSearch`] — the delta-evaluated
+//!   path: the state carries per-server aggregates (storage used,
+//!   expected bandwidth load, hosted-video lists, and the Eq. (1)
+//!   component sums) that moves update incrementally, so one Metropolis
+//!   step costs O(replicas touched) + O(N) for the imbalance term
+//!   instead of an O(M·N) full rescan. Proposals draw the *same RNG
+//!   sequence* as the legacy neighborhood (hosted lists are kept in
+//!   ascending video order, absent videos are rank-selected from the
+//!   complement), and repair reproduces the legacy victim order, so
+//!   both paths walk identical trajectories from the same seed. Where
+//!   the legacy path returned the unchanged state as a "no-op neighbor"
+//!   (saturated server, unrepairable move) — an accepted move that
+//!   changed nothing and consumed no Metropolis draw — the delta path
+//!   rejects the proposal instead, which is the same search with
+//!   different bookkeeping.
 
-use crate::engine::AnnealProblem;
+use crate::delta::{nth_absent, sorted_insert, sorted_remove, SnapLog, TxnStatus};
+use crate::engine::{AnnealProblem, NeighborProblem};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use vod_model::{load, BitRate, ClusterSpec, ModelError, ObjectiveWeights, Popularity, ServerId};
@@ -215,6 +239,16 @@ impl ScalableProblem {
         self.weights.evaluate_components(mean_rate_mbps, degree, l)
     }
 
+    /// Energy (`−O`, plus the legacy 1e9 penalty if infeasible) from a
+    /// full recompute — the reference both search paths must agree with.
+    fn scratch_energy(&self, state: &ScalableState) -> f64 {
+        let mut e = -self.objective(state);
+        if !self.is_feasible(state) {
+            e += 1e9;
+        }
+        e
+    }
+
     /// Repairs `state` in place after a load-increasing move on `server`:
     /// while the server violates (4)/(5), step the lowest-rate video on it
     /// down the ladder, or drop a replica (never the last one). Returns
@@ -274,19 +308,401 @@ impl ScalableProblem {
         }
         true
     }
+
+    /// Wraps a feasible state into the delta-evaluated search
+    /// representation, building all cached aggregates from scratch.
+    pub fn search_state(&self, state: ScalableState) -> ScalableSearch {
+        debug_assert!(
+            self.is_feasible(&state),
+            "search_state expects a feasible state"
+        );
+        let n = self.n_servers();
+        let storage = self.storage_used(&state);
+        let load = self.bandwidth_load(&state);
+        let mut hosted = vec![Vec::new(); n];
+        for (v, servers) in state.assignments.iter().enumerate() {
+            for &s in servers {
+                hosted[s.index()].push(v as u32);
+            }
+        }
+        for h in &mut hosted {
+            h.sort_unstable();
+        }
+        let rate_sum_mbps = state.rates.iter().map(|r| r.mbps()).sum::<f64>();
+        let replica_total = state.assignments.iter().map(|a| a.len() as u64).sum();
+        let mut search = ScalableSearch {
+            state,
+            cache: ScalableCache {
+                storage,
+                load,
+                hosted,
+                rate_sum_mbps,
+                replica_total,
+                energy: 0.0,
+            },
+            txn: ScalableTxn::default(),
+        };
+        search.recompute_energy(self);
+        search
+    }
+
+    /// [`search_state`](ScalableProblem::search_state) of the paper's
+    /// initial solution.
+    pub fn initial_search(&self) -> ScalableSearch {
+        self.search_state(self.initial_state())
+    }
 }
 
-impl AnnealProblem for ScalableProblem {
+/// Cached per-server aggregates of a [`ScalableSearch`]. All values are
+/// maintained incrementally by moves and restored bit-for-bit on
+/// revert; the differential test suite pins them against a from-scratch
+/// rebuild.
+#[derive(Debug, Clone, PartialEq)]
+struct ScalableCache {
+    /// Bytes stored per server.
+    storage: Vec<u64>,
+    /// Expected outgoing kbps per server.
+    load: Vec<f64>,
+    /// Videos hosted per server, ascending — the proposal candidate
+    /// lists (ascending order keeps RNG draws aligned with the legacy
+    /// filter-in-index-order scans).
+    hosted: Vec<Vec<u32>>,
+    /// `Σ_i b_i` in Mbps (quality component numerator).
+    rate_sum_mbps: f64,
+    /// `Σ_i r_i` (replication-degree numerator).
+    replica_total: u64,
+    /// Energy (`−O`) of the current state.
+    energy: f64,
+}
+
+/// Structural undo record for one elementary mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScalableUndo {
+    /// `rates[video]` was `old`.
+    Rate { video: u32, old: BitRate },
+    /// A replica was appended to `assignments[video]`.
+    PushedReplica { video: u32 },
+    /// `assignments[video][pos]` (on `server`) was removed.
+    RemovedReplica { video: u32, server: u32, pos: u32 },
+}
+
+/// Scratch transaction state: undo logs and pre-move snapshots.
+#[derive(Debug, Clone, Default)]
+struct ScalableTxn {
+    status: TxnStatus,
+    pending: Option<ScalableMove>,
+    undo: Vec<ScalableUndo>,
+    load_snap: SnapLog<f64>,
+    storage_snap: SnapLog<u64>,
+    rate_sum_snap: f64,
+    replica_total_snap: u64,
+    energy_snap: f64,
+}
+
+/// The delta-evaluated search representation: a [`ScalableState`] plus
+/// its cached aggregates and reusable move scratch. Build one with
+/// [`ScalableProblem::search_state`]; equality compares state and
+/// caches (not scratch).
+#[derive(Debug, Clone)]
+pub struct ScalableSearch {
+    state: ScalableState,
+    cache: ScalableCache,
+    txn: ScalableTxn,
+}
+
+impl PartialEq for ScalableSearch {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state && self.cache == other.cache
+    }
+}
+
+impl ScalableSearch {
+    /// The underlying search-space point.
+    pub fn state(&self) -> &ScalableState {
+        &self.state
+    }
+
+    /// Unwraps into the underlying search-space point.
+    pub fn into_state(self) -> ScalableState {
+        self.state
+    }
+
+    /// Opens a move transaction.
+    fn begin(&mut self, n_servers: usize) {
+        debug_assert!(
+            matches!(self.txn.status, TxnStatus::Idle | TxnStatus::Committed),
+            "begin over an unresolved tentative move"
+        );
+        self.txn.undo.clear();
+        self.txn.load_snap.begin(n_servers);
+        self.txn.storage_snap.begin(n_servers);
+        self.txn.rate_sum_snap = self.cache.rate_sum_mbps;
+        self.txn.replica_total_snap = self.cache.replica_total;
+        self.txn.energy_snap = self.cache.energy;
+        self.txn.status = TxnStatus::Idle;
+        self.txn.pending = None;
+    }
+
+    /// Undoes the open (or still-logged) transaction, restoring state
+    /// and caches bit-for-bit.
+    fn rollback(&mut self) {
+        while let Some(entry) = self.txn.undo.pop() {
+            match entry {
+                ScalableUndo::Rate { video, old } => {
+                    self.state.rates[video as usize] = old;
+                }
+                ScalableUndo::PushedReplica { video } => {
+                    let sid = self.state.assignments[video as usize]
+                        .pop()
+                        .expect("pushed replica present");
+                    sorted_remove(&mut self.cache.hosted[sid.index()], video);
+                }
+                ScalableUndo::RemovedReplica { video, server, pos } => {
+                    self.state.assignments[video as usize].insert(pos as usize, ServerId(server));
+                    sorted_insert(&mut self.cache.hosted[server as usize], video);
+                }
+            }
+        }
+        self.txn.load_snap.rollback(&mut self.cache.load);
+        self.txn.storage_snap.rollback(&mut self.cache.storage);
+        self.cache.rate_sum_mbps = self.txn.rate_sum_snap;
+        self.cache.replica_total = self.txn.replica_total_snap;
+        self.cache.energy = self.txn.energy_snap;
+        self.txn.status = TxnStatus::Idle;
+        self.txn.pending = None;
+    }
+
+    /// Cached constraint check for one server — the O(1) replacement
+    /// for the legacy per-server rescan.
+    fn server_ok(&self, p: &ScalableProblem, server: usize) -> bool {
+        let spec = &p.cluster.servers()[server];
+        self.cache.storage[server] <= spec.storage_bytes
+            && self.cache.load[server] <= spec.bandwidth_kbps as f64 + 1e-6
+    }
+
+    /// Re-rates `video`, updating storage and load on every server
+    /// holding a replica.
+    fn set_rate(&mut self, p: &ScalableProblem, video: usize, new: BitRate) {
+        let old = self.state.rates[video];
+        self.txn.undo.push(ScalableUndo::Rate {
+            video: video as u32,
+            old,
+        });
+        let old_bytes = old.storage_bytes(p.duration_s);
+        let new_bytes = new.storage_bytes(p.duration_s);
+        let w = p.pop.get(video) * p.demand / self.state.assignments[video].len() as f64;
+        let old_term = w * old.kbps() as f64;
+        let new_term = w * new.kbps() as f64;
+        for k in 0..self.state.assignments[video].len() {
+            let s = self.state.assignments[video][k].index();
+            self.txn.storage_snap.touch(s, self.cache.storage[s]);
+            self.cache.storage[s] = self.cache.storage[s] - old_bytes + new_bytes;
+            self.txn.load_snap.touch(s, self.cache.load[s]);
+            self.cache.load[s] = self.cache.load[s] - old_term + new_term;
+        }
+        self.state.rates[video] = new;
+        self.cache.rate_sum_mbps += new.mbps() - old.mbps();
+    }
+
+    /// Adds a replica of `video` on `server`, redistributing the
+    /// per-replica request share `p_v · demand / r_v`.
+    fn add_replica(&mut self, p: &ScalableProblem, video: usize, server: usize) {
+        let rate = self.state.rates[video];
+        let bytes = rate.storage_bytes(p.duration_s);
+        let kbps = rate.kbps() as f64;
+        let pd = p.pop.get(video) * p.demand;
+        let r_old = self.state.assignments[video].len() as f64;
+        let old_term = pd / r_old * kbps;
+        let new_term = pd / (r_old + 1.0) * kbps;
+        for k in 0..self.state.assignments[video].len() {
+            let s = self.state.assignments[video][k].index();
+            self.txn.load_snap.touch(s, self.cache.load[s]);
+            self.cache.load[s] = self.cache.load[s] - old_term + new_term;
+        }
+        self.txn
+            .storage_snap
+            .touch(server, self.cache.storage[server]);
+        self.cache.storage[server] += bytes;
+        self.txn.load_snap.touch(server, self.cache.load[server]);
+        self.cache.load[server] += new_term;
+        self.state.assignments[video].push(ServerId(server as u32));
+        sorted_insert(&mut self.cache.hosted[server], video as u32);
+        self.cache.replica_total += 1;
+        self.txn.undo.push(ScalableUndo::PushedReplica {
+            video: video as u32,
+        });
+    }
+
+    /// Removes `video`'s replica on `server` (not its last one).
+    fn remove_replica(&mut self, p: &ScalableProblem, video: usize, server: usize) {
+        let sid = ServerId(server as u32);
+        let pos = self.state.assignments[video]
+            .iter()
+            .position(|&s| s == sid)
+            .expect("replica hosted on server");
+        let rate = self.state.rates[video];
+        let bytes = rate.storage_bytes(p.duration_s);
+        let kbps = rate.kbps() as f64;
+        let pd = p.pop.get(video) * p.demand;
+        let r_old = self.state.assignments[video].len() as f64;
+        let old_term = pd / r_old * kbps;
+        let new_term = pd / (r_old - 1.0) * kbps;
+        for k in 0..self.state.assignments[video].len() {
+            let s = self.state.assignments[video][k].index();
+            self.txn.load_snap.touch(s, self.cache.load[s]);
+            if k == pos {
+                self.cache.load[s] -= old_term;
+            } else {
+                self.cache.load[s] = self.cache.load[s] - old_term + new_term;
+            }
+        }
+        self.txn
+            .storage_snap
+            .touch(server, self.cache.storage[server]);
+        self.cache.storage[server] -= bytes;
+        self.state.assignments[video].remove(pos);
+        sorted_remove(&mut self.cache.hosted[server], video as u32);
+        self.cache.replica_total -= 1;
+        self.txn.undo.push(ScalableUndo::RemovedReplica {
+            video: video as u32,
+            server: server as u32,
+            pos: pos as u32,
+        });
+    }
+
+    /// Cached-aggregate mirror of [`ScalableProblem::repair`]: same
+    /// victim order (lowest rate, then highest video index), same
+    /// decrease-or-drop discipline, same last-replica fallback.
+    fn repair(&mut self, p: &ScalableProblem, server: usize) -> bool {
+        let mut guard = 0;
+        while !self.server_ok(p, server) {
+            guard += 1;
+            if guard > 10_000 {
+                return false;
+            }
+            let mut victim: Option<(BitRate, u32)> = None;
+            for &v in &self.cache.hosted[server] {
+                let rate = self.state.rates[v as usize];
+                // `<=` keeps the last (highest-index) video among
+                // rate ties, matching the legacy comparator.
+                if victim.is_none_or(|(best, _)| rate <= best) {
+                    victim = Some((rate, v));
+                }
+            }
+            let Some((rate, v)) = victim else {
+                return false; // nothing on the server yet it violates: impossible
+            };
+            let v = v as usize;
+            if let Some(down) = rate.step_down(&p.ladder) {
+                self.set_rate(p, v, down);
+            } else if self.state.assignments[v].len() > 1 {
+                self.remove_replica(p, v, server);
+            } else {
+                // Last replica at the lowest rate: first *other* video
+                // on the server (ascending index) that can shrink.
+                let mut other = None;
+                for &u in &self.cache.hosted[server] {
+                    if u as usize == v {
+                        continue;
+                    }
+                    if self.state.rates[u as usize].step_down(&p.ladder).is_some()
+                        || self.state.assignments[u as usize].len() > 1
+                    {
+                        other = Some(u as usize);
+                        break;
+                    }
+                }
+                let Some(u) = other else {
+                    return false;
+                };
+                if let Some(down) = self.state.rates[u].step_down(&p.ladder) {
+                    self.set_rate(p, u, down);
+                } else {
+                    self.remove_replica(p, u, server);
+                }
+            }
+        }
+        true
+    }
+
+    /// Recomputes the cached energy from the cached Eq. (1) component
+    /// aggregates — O(N) for the imbalance term, nothing touches the
+    /// per-video dimension.
+    fn recompute_energy(&mut self, p: &ScalableProblem) {
+        let m = p.n_videos() as f64;
+        let mean_rate_mbps = self.cache.rate_sum_mbps / m;
+        let degree = self.cache.replica_total as f64 / m;
+        let l = load::imbalance(&self.cache.load, p.weights.metric);
+        self.cache.energy = -p.weights.evaluate_components(mean_rate_mbps, degree, l);
+    }
+
+    /// Whether the open transaction's net effect on the *state* is the
+    /// identity — e.g. an upgrade that repair stepped straight back
+    /// down, or an added replica that repair immediately dropped. The
+    /// legacy path saw two equal states there and got an exactly-zero
+    /// energy delta (accepting without a Metropolis draw); the caller
+    /// must reproduce that by rolling back the (drifted) caches and
+    /// reporting the current energy unchanged.
+    fn txn_is_identity(&self) -> bool {
+        let undo = &self.txn.undo;
+        // At most one push per move (the primary op); repair only
+        // removes. `pushed` tracks whether it is still uncancelled.
+        let mut pushed: Option<u32> = None;
+        for (i, e) in undo.iter().enumerate() {
+            match *e {
+                ScalableUndo::Rate { video, old } => {
+                    // Only a slot's first record holds its original value.
+                    let first = !undo[..i]
+                        .iter()
+                        .any(|p| matches!(*p, ScalableUndo::Rate { video: v, .. } if v == video));
+                    if first && self.state.rates[video as usize] != old {
+                        return false;
+                    }
+                }
+                ScalableUndo::PushedReplica { video } => pushed = Some(video),
+                ScalableUndo::RemovedReplica { video, pos, .. } => {
+                    // Cancels the push only if it removed the appended
+                    // replica itself (always the last slot); any other
+                    // removal is irreversible within one move.
+                    if pushed == Some(video)
+                        && pos as usize == self.state.assignments[video as usize].len()
+                    {
+                        pushed = None;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+        }
+        pushed.is_none()
+    }
+}
+
+/// One elementary move of the delta-evaluated scalable search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalableMove {
+    kind: ScalableMoveKind,
+    video: u32,
+    server: u32,
+}
+
+/// What a [`ScalableMove`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScalableMoveKind {
+    /// Step `video`'s rate up one ladder rung.
+    Upgrade,
+    /// Place a new replica of `video` on `server`.
+    AddReplica,
+}
+
+/// Legacy clone-based search path (reference implementation).
+impl NeighborProblem for ScalableProblem {
     type State = ScalableState;
 
     /// Energy is `−O`; infeasible states (which repair should prevent)
     /// are pushed out by a large penalty.
     fn energy(&self, state: &ScalableState) -> f64 {
-        let mut e = -self.objective(state);
-        if !self.is_feasible(state) {
-            e += 1e9;
-        }
-        e
+        self.scratch_energy(state)
     }
 
     fn neighbor<R: Rng + ?Sized>(&self, state: &ScalableState, rng: &mut R) -> ScalableState {
@@ -353,10 +769,140 @@ impl AnnealProblem for ScalableProblem {
     }
 }
 
+/// Delta-evaluated search path.
+impl AnnealProblem for ScalableProblem {
+    type State = ScalableSearch;
+    type Move = ScalableMove;
+
+    fn energy(&self, search: &ScalableSearch) -> f64 {
+        self.scratch_energy(&search.state)
+    }
+
+    fn state_energy(&self, search: &ScalableSearch) -> f64 {
+        search.cache.energy
+    }
+
+    /// Draws the legacy neighborhood's RNG sequence: server, upgrade
+    /// coin, then an index into the hosted (ascending) or absent
+    /// (rank-selected) candidate list. Returns `None` exactly where the
+    /// legacy path returned the unchanged state (saturated server).
+    fn propose_move<R: Rng + ?Sized>(
+        &self,
+        search: &mut ScalableSearch,
+        rng: &mut R,
+    ) -> Option<ScalableMove> {
+        let n = self.n_servers();
+        let server = rng.gen_range(0..n);
+        let try_upgrade = rng.gen::<bool>();
+        if try_upgrade {
+            let hosted = &search.cache.hosted[server];
+            if !hosted.is_empty() {
+                let v = hosted[rng.gen_range(0..hosted.len())];
+                if search.state.rates[v as usize]
+                    .step_up(&self.ladder)
+                    .is_some()
+                {
+                    return Some(ScalableMove {
+                        kind: ScalableMoveKind::Upgrade,
+                        video: v,
+                        server: server as u32,
+                    });
+                }
+                // Already at the top rung: fall through to add-replica,
+                // like the legacy `moved = false` path.
+            }
+        }
+        let hosted = &search.cache.hosted[server];
+        let absent = self.n_videos() - hosted.len();
+        if absent == 0 {
+            return None; // saturated server: no move
+        }
+        let v = nth_absent(hosted, rng.gen_range(0..absent));
+        Some(ScalableMove {
+            kind: ScalableMoveKind::AddReplica,
+            video: v,
+            server: server as u32,
+        })
+    }
+
+    fn evaluate_move(&self, search: &mut ScalableSearch, mv: &ScalableMove) -> Option<f64> {
+        let n = self.n_servers();
+        search.begin(n);
+        let video = mv.video as usize;
+        let server = mv.server as usize;
+        match mv.kind {
+            ScalableMoveKind::Upgrade => {
+                let up = search.state.rates[video]
+                    .step_up(&self.ladder)
+                    .expect("proposed upgrade has ladder headroom");
+                search.set_rate(self, video, up);
+            }
+            ScalableMoveKind::AddReplica => search.add_replica(self, video, server),
+        }
+        let mut ok = search.repair(self, server);
+        if ok {
+            for j in 0..n {
+                if j != server && !search.server_ok(self, j) {
+                    ok = search.repair(self, j);
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        // Repairing a later server can re-load an earlier one (dropping
+        // a replica shifts its request share onto the survivors), so
+        // sweep all headrooms once more — the cached equivalent of the
+        // legacy full `is_feasible` recheck.
+        ok = ok && (0..n).all(|j| search.server_ok(self, j));
+        if !ok {
+            search.rollback();
+            return None;
+        }
+        if search.txn_is_identity() {
+            // Net no-op: restore the caches bit-for-bit (incremental
+            // updates drift even over an identity cycle) and commit an
+            // empty transaction, so the candidate energy equals the
+            // current energy exactly and the engine accepts without a
+            // Metropolis draw — just like the legacy clone path.
+            search.rollback();
+            search.txn.status = TxnStatus::Tentative;
+            search.txn.pending = Some(*mv);
+            return Some(search.cache.energy);
+        }
+        search.recompute_energy(self);
+        search.txn.status = TxnStatus::Tentative;
+        search.txn.pending = Some(*mv);
+        Some(search.cache.energy)
+    }
+
+    fn apply(&self, search: &mut ScalableSearch, mv: &ScalableMove) -> bool {
+        if search.txn.status == TxnStatus::Tentative {
+            debug_assert_eq!(search.txn.pending, Some(*mv));
+            search.txn.status = TxnStatus::Committed;
+            return true;
+        }
+        self.evaluate_move(search, mv);
+        if search.txn.status == TxnStatus::Tentative {
+            search.txn.status = TxnStatus::Committed;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn revert(&self, search: &mut ScalableSearch, mv: &ScalableMove) {
+        if search.txn.status != TxnStatus::Idle {
+            debug_assert_eq!(search.txn.pending, Some(*mv));
+            search.rollback();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{anneal, AnnealParams};
+    use crate::engine::{anneal, anneal_neighbor, AnnealParams};
     use crate::schedule::CoolingSchedule;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -425,7 +971,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let result = anneal(
             &p,
-            initial,
+            p.search_state(initial),
             &AnnealParams {
                 schedule: CoolingSchedule::default_geometric(0.5),
                 epochs: 60,
@@ -433,12 +979,88 @@ mod tests {
             },
             &mut rng,
         );
-        let o_best = p.objective(&result.best_state);
+        let o_best = p.objective(result.best_state.state());
         assert!(
             o_best > o0,
             "SA failed to improve: {o_best} vs initial {o0}"
         );
-        assert!(p.is_feasible(&result.best_state));
+        assert!(p.is_feasible(result.best_state.state()));
+    }
+
+    #[test]
+    fn delta_walk_matches_legacy_walk() {
+        // The strongest equivalence check: from the same seed, the
+        // delta-evaluated search and the legacy clone-based search must
+        // visit identical states (the delta path counts legacy "no-op
+        // accepts" as rejections, so only move counters may differ).
+        let p = small_problem();
+        let params = AnnealParams {
+            schedule: CoolingSchedule::default_geometric(0.5),
+            epochs: 40,
+            steps_per_epoch: 60,
+        };
+        let mut rng_legacy = ChaCha8Rng::seed_from_u64(11);
+        let legacy = anneal_neighbor(&p, p.initial_state(), &params, &mut rng_legacy);
+        let mut rng_delta = ChaCha8Rng::seed_from_u64(11);
+        let delta = anneal(&p, p.initial_search(), &params, &mut rng_delta);
+        assert_eq!(delta.best_state.state(), &legacy.best_state);
+        assert!((delta.best_energy - legacy.best_energy).abs() < 1e-9);
+        for (a, b) in delta.trajectory.iter().zip(&legacy.trajectory) {
+            assert!((a - b).abs() < 1e-9, "trajectory diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cached_energy_tracks_recompute_over_walk() {
+        let p = small_problem();
+        let mut search = p.initial_search();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut applied = 0;
+        for _ in 0..600 {
+            let Some(mv) = p.propose_move(&mut search, &mut rng) else {
+                continue;
+            };
+            if p.apply(&mut search, &mv) {
+                applied += 1;
+            }
+            let cached = p.state_energy(&search);
+            let full = AnnealProblem::energy(&p, &search);
+            assert!(
+                (cached - full).abs() < 1e-9,
+                "cache drifted: {cached} vs {full}"
+            );
+            assert!(p.is_feasible(search.state()));
+        }
+        assert!(applied > 100, "walk applied too few moves: {applied}");
+    }
+
+    #[test]
+    fn revert_restores_state_and_caches_bit_for_bit() {
+        let p = small_problem();
+        let mut search = p.initial_search();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        // Wander into a non-trivial state first.
+        for _ in 0..200 {
+            if let Some(mv) = p.propose_move(&mut search, &mut rng) {
+                p.apply(&mut search, &mv);
+            }
+        }
+        for _ in 0..300 {
+            let Some(mv) = p.propose_move(&mut search, &mut rng) else {
+                continue;
+            };
+            let before = search.clone();
+            if p.apply(&mut search, &mv) {
+                p.revert(&mut search, &mv);
+            }
+            assert!(search == before, "revert failed to restore the search");
+            assert_eq!(
+                search.cache.load, before.cache.load,
+                "load cache bits differ"
+            );
+            // Re-apply so the walk makes progress.
+            p.apply(&mut search, &mv);
+        }
     }
 
     #[test]
@@ -475,7 +1097,7 @@ mod tests {
             s.rates[v] = BitRate::STUDIO;
         }
         assert!(!p.is_feasible(&s));
-        assert!(p.energy(&s) > 1e8);
+        assert!(NeighborProblem::energy(&p, &s) > 1e8);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Simulated-annealing substrate cost: the neighborhood move (with
-//! constraint repair) and energy evaluation, plus a small end-to-end run.
+//! constraint repair) and energy evaluation, plus a small end-to-end run
+//! on the delta-evaluated engine. The delta-vs-legacy A/B comparison
+//! lives in `sa_hotpath.rs`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
-use vod_anneal::{anneal, AnnealParams, AnnealProblem, CoolingSchedule, ScalableProblem};
+use vod_anneal::{anneal, AnnealParams, CoolingSchedule, NeighborProblem, ScalableProblem};
 use vod_model::{BitRate, ClusterSpec, ObjectiveWeights, Popularity, ServerSpec};
 
 fn problem(m: usize) -> ScalableProblem {
@@ -50,7 +52,7 @@ fn bench_anneal(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(12);
             black_box(anneal(
                 &p,
-                p.initial_state(),
+                p.initial_search(),
                 &AnnealParams {
                     schedule: CoolingSchedule::default_geometric(0.5),
                     epochs: 20,

@@ -1,0 +1,137 @@
+//! SA hot-path A/B: the delta-evaluated move engine vs the legacy
+//! clone-per-step path, on both annealing problems.
+//!
+//! Each benchmark runs a fixed budget of Metropolis steps through
+//! `anneal` (delta: `*Search` states with cached per-server aggregates,
+//! O(touched) per step) or `anneal_neighbor` (legacy: clone + full
+//! O(M·N) energy recompute per step) and reports element throughput =
+//! steps/sec. The `perf-smoke` CI gate pins a floor for the delta path
+//! (`sa_steps_per_sec` in `bench/baseline.json`); these benches are the
+//! diagnostic view behind that number.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vod_anneal::{
+    anneal, anneal_neighbor, AnnealParams, CoolingSchedule, MultiRateProblem, ScalableProblem,
+};
+use vod_model::{BitRate, ClusterSpec, ObjectiveWeights, Popularity, ServerSpec};
+
+const DURATION_S: u64 = 90 * 60;
+
+/// The paper's cluster shape: N = 8 homogeneous servers with storage for
+/// a ~1.4 replication degree and ~1.8 Gbps links.
+fn cluster(m: usize) -> ClusterSpec {
+    let slot = BitRate::STUDIO.storage_bytes(DURATION_S);
+    ClusterSpec::homogeneous(
+        8,
+        ServerSpec {
+            storage_bytes: ((1.4 * m as f64 / 8.0).ceil() as u64) * slot,
+            bandwidth_kbps: 1_800_000,
+        },
+    )
+    .unwrap()
+}
+
+fn scalable(m: usize) -> ScalableProblem {
+    ScalableProblem::new(
+        Popularity::zipf(m, 1.0).unwrap(),
+        cluster(m),
+        DURATION_S,
+        BitRate::LADDER.to_vec(),
+        // ~60% of an 8-link cluster's 4 Mbps stream capacity, like SA-1.
+        0.6 * 8.0 * 1_800_000.0 / 4_000.0,
+        ObjectiveWeights::default(),
+    )
+    .unwrap()
+}
+
+fn multirate(m: usize) -> MultiRateProblem {
+    MultiRateProblem::new(
+        Popularity::zipf(m, 1.0).unwrap(),
+        cluster(m),
+        DURATION_S,
+        BitRate::LADDER.to_vec(),
+        0.6 * 8.0 * 1_800_000.0 / 4_000.0,
+        ObjectiveWeights::default(),
+        false,
+    )
+    .unwrap()
+}
+
+/// Annealing knobs sized to `steps` total Metropolis steps, with the
+/// 1/M-scaled temperature the experiments use.
+fn params(m: usize, steps: u32) -> AnnealParams {
+    let t0 = 20.0 / m as f64;
+    AnnealParams {
+        schedule: CoolingSchedule::Geometric {
+            t0,
+            alpha: 0.93,
+            t_min: t0 * 1e-4,
+        },
+        epochs: 12,
+        steps_per_epoch: steps / 12,
+    }
+}
+
+fn bench_sa_hotpath(c: &mut Criterion) {
+    // (label, catalog size, steps per iteration, legacy steps per iteration)
+    // The legacy path gets a smaller budget at M = 1000 — a full clone
+    // walk at that scale would push one criterion sample past minutes.
+    let scales: &[(&str, usize, u32, u32)] = &[
+        ("m200", 200, 24_000, 6_000),
+        ("m1000", 1_000, 24_000, 1_200),
+    ];
+
+    let mut group = c.benchmark_group("sa_hotpath");
+    group.sample_size(10);
+
+    for &(label, m, steps, legacy_steps) in scales {
+        let p = scalable(m);
+        group.throughput(Throughput::Elements(u64::from(steps)));
+        group.bench_function(format!("scalable_{label}_delta"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xBE);
+                black_box(anneal(&p, p.initial_search(), &params(m, steps), &mut rng))
+            })
+        });
+        group.throughput(Throughput::Elements(u64::from(legacy_steps)));
+        group.bench_function(format!("scalable_{label}_legacy"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xBE);
+                black_box(anneal_neighbor(
+                    &p,
+                    p.initial_state(),
+                    &params(m, legacy_steps),
+                    &mut rng,
+                ))
+            })
+        });
+
+        let q = multirate(m);
+        group.throughput(Throughput::Elements(u64::from(steps)));
+        group.bench_function(format!("multirate_{label}_delta"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xBF);
+                black_box(anneal(&q, q.initial_search(), &params(m, steps), &mut rng))
+            })
+        });
+        group.throughput(Throughput::Elements(u64::from(legacy_steps)));
+        group.bench_function(format!("multirate_{label}_legacy"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xBF);
+                black_box(anneal_neighbor(
+                    &q,
+                    q.initial_state(),
+                    &params(m, legacy_steps),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa_hotpath);
+criterion_main!(benches);

@@ -22,17 +22,21 @@
 //!   sa2       multi-rate replica extension, objective ablation (SA-2)
 //!   striping  striping-vs-replication architectural comparison (A-5)
 //!   overload  admission queueing, retries and brownouts under overload (A-6)
-//!   perf-smoke  pinned-size throughput measurement (N = 8, M = 200,
-//!               fixed seed); prints one machine-readable PERF_SMOKE line
+//!   perf-smoke  pinned-size throughput measurements (N = 8, M = 200,
+//!               fixed seed): simulator events/sec and annealer SA
+//!               steps/sec; prints one machine-readable PERF_SMOKE line
 //!
 //! flags:
 //!   --metrics FILE  append one JSONL run-manifest record per experiment
-//!   --check FILE    perf-smoke only: fail if events/sec drops more than
-//!                   30% below the baseline recorded in FILE
+//!   --check FILE    perf-smoke only: fail if events/sec or SA steps/sec
+//!                   drops more than 30% below the baseline in FILE
 //! ```
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::process::ExitCode;
 use std::time::Instant;
+use vod_anneal::{anneal_with_telemetry, AnnealParams, CoolingSchedule, ScalableProblem};
 use vod_experiments::report::Reporter;
 use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
@@ -40,6 +44,7 @@ use vod_experiments::{
     ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload, quality,
     recovery, sa, sa_multirate, striping,
 };
+use vod_model::{BitRate, ObjectiveWeights, Popularity};
 use vod_sim::AdmissionPolicy;
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
 
@@ -156,15 +161,21 @@ fn manifest_record(
         if evaluations > 0 {
             record = record.rate("evaluations_per_sec", evaluations as f64 / wall_secs);
         }
+        let sa_steps = snapshot.counter("anneal.proposed");
+        if sa_steps > 0 {
+            record = record.rate("sa_steps_per_sec", sa_steps as f64 / wall_secs);
+        }
     }
     record
 }
 
-/// Runs the pinned-size throughput measurement: the paper's cluster
+/// Runs the pinned-size throughput measurements: the paper's cluster
 /// (N = 8, M = 200), zipf+slf plan at degree 1.2, near-capacity load,
-/// fixed seed. Prints one machine-readable `PERF_SMOKE` line; with
-/// `--check`, compares against a JSON baseline (`{"events_per_sec": X}`)
-/// and fails when throughput lands more than 30% below it.
+/// fixed seed — plus the SA-1 annealing problem through the
+/// delta-evaluated move engine. Prints one machine-readable `PERF_SMOKE`
+/// line; with `--check`, compares against a JSON baseline
+/// (`{"events_per_sec": X, "sa_steps_per_sec": Y}`) and fails when
+/// either throughput lands more than 30% below its floor.
 fn perf_smoke(
     metrics: Option<&str>,
     check: Option<&str>,
@@ -199,6 +210,44 @@ fn perf_smoke(
         iterations += 1;
     }
     let sim_secs = sim_started.elapsed().as_secs_f64();
+
+    // SA hot-path measurement: the SA-1 problem shape (paper cluster at
+    // storage degree 1.4, θ = 1 popularity, 60%-of-capacity demand)
+    // through the delta-evaluated annealer from a fixed seed, repeated
+    // until enough wall time accumulates for a stable steps/sec figure.
+    let sa_problem = ScalableProblem::new(
+        Popularity::zipf(setup.n_videos, 1.0)?,
+        setup.cluster(1.4),
+        setup.duration_s,
+        BitRate::LADDER.to_vec(),
+        setup.capacity_demand() * 0.6,
+        ObjectiveWeights::default(),
+    )?;
+    let t0 = 20.0 / setup.n_videos as f64;
+    let sa_params = AnnealParams {
+        schedule: CoolingSchedule::Geometric {
+            t0,
+            alpha: 0.93,
+            t_min: t0 * 1e-4,
+        },
+        epochs: 12,
+        steps_per_epoch: 500,
+    };
+    let sa_started = Instant::now();
+    let mut sa_steps = 0u64;
+    while sa_steps == 0 || sa_started.elapsed().as_secs_f64() < 0.4 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        std::hint::black_box(anneal_with_telemetry(
+            &sa_problem,
+            sa_problem.initial_search(),
+            &sa_params,
+            &mut rng,
+            &telemetry,
+        ));
+        sa_steps += u64::from(sa_params.epochs) * u64::from(sa_params.steps_per_epoch);
+    }
+    let sa_secs = sa_started.elapsed().as_secs_f64();
+    let sa_steps_per_sec = sa_steps as f64 / sa_secs;
     let wall_secs = started.elapsed().as_secs_f64();
 
     let snapshot = telemetry.snapshot();
@@ -214,7 +263,9 @@ fn perf_smoke(
         "PERF_SMOKE n_servers={} n_videos={} runs={} iterations={iterations} seed={seed} \
          events={events} arrivals={arrivals} events_per_sec={events_per_sec:.0} \
          requests_per_sec={requests_per_sec:.0} rejection_rate={rejection_rate:.4} \
-         plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} wall_secs={wall_secs:.3}",
+         sa_steps={sa_steps} sa_steps_per_sec={sa_steps_per_sec:.0} \
+         plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} sa_secs={sa_secs:.3} \
+         wall_secs={wall_secs:.3}",
         setup.n_servers, setup.n_videos, setup.runs,
     );
 
@@ -222,7 +273,11 @@ fn perf_smoke(
         let record = manifest_record("perf_smoke", seed, &setup, &telemetry, wall_secs)
             .param("lambda_per_min", lambda)
             .phase("plan", plan_secs)
-            .phase("simulate", sim_secs);
+            .phase("simulate", sim_secs)
+            .phase("anneal", sa_secs)
+            // Override the wall-clock-derived figure with the phase-local
+            // one (the annealer only ran during `sa_secs`).
+            .rate("sa_steps_per_sec", sa_steps_per_sec);
         ManifestWriter::append_to(path)?.write(&record)?;
     }
 
@@ -230,6 +285,8 @@ fn perf_smoke(
         #[derive(serde::Deserialize)]
         struct Baseline {
             events_per_sec: f64,
+            #[serde(default)]
+            sa_steps_per_sec: Option<f64>,
         }
         let baseline: Baseline = serde_json::from_str(&std::fs::read_to_string(path)?)?;
         let floor = baseline.events_per_sec;
@@ -249,6 +306,25 @@ fn perf_smoke(
             "perf smoke ok: {events_per_sec:.0} events/sec >= threshold {threshold:.0} \
              (baseline {floor:.0}, delta {delta_pct:+.1}%)"
         );
+        if let Some(sa_floor) = baseline.sa_steps_per_sec {
+            let sa_threshold = 0.7 * sa_floor;
+            let sa_delta_pct = 100.0 * (sa_steps_per_sec / sa_floor - 1.0);
+            if sa_steps_per_sec < sa_threshold {
+                return Err(format!(
+                    "perf smoke regression: {sa_steps_per_sec:.0} SA steps/sec is more than \
+                     30% below the baseline {sa_floor:.0} (threshold {sa_threshold:.0}, \
+                     delta {sa_delta_pct:+.1}%)"
+                )
+                .into());
+            }
+            println!(
+                "PERF_SMOKE_SA_DELTA baseline={sa_floor:.0} measured={sa_steps_per_sec:.0} delta_pct={sa_delta_pct:+.1}"
+            );
+            eprintln!(
+                "perf smoke ok: {sa_steps_per_sec:.0} SA steps/sec >= threshold \
+                 {sa_threshold:.0} (baseline {sa_floor:.0}, delta {sa_delta_pct:+.1}%)"
+            );
+        }
     }
     Ok(())
 }

@@ -77,7 +77,7 @@ pub fn evaluate_with_telemetry(
     let t0 = 20.0 / setup.n_videos as f64;
     let result = anneal_parallel_with_telemetry(
         &problem,
-        initial,
+        problem.search_state(initial),
         &ParallelParams {
             chains: 4,
             epochs_per_round: 12,
@@ -92,7 +92,7 @@ pub fn evaluate_with_telemetry(
         },
         telemetry,
     );
-    let best = &result.best_state;
+    let best = result.best_state.state();
     let final_objective = problem.objective(best);
     let m = problem.n_videos() as f64;
     let final_mean_rate_mbps = best.rates.iter().map(|r| r.mbps()).sum::<f64>() / m;

@@ -95,11 +95,11 @@ pub fn compute_with_telemetry(
         )?;
         let result = anneal_parallel_with_telemetry(
             &problem,
-            problem.initial_state(),
+            problem.initial_search(),
             &anneal_params(0x5A21, m),
             telemetry,
         );
-        let s = &result.best_state;
+        let s = result.best_state.state();
         let delivered: Vec<f64> = s.rates.iter().map(|r| r.mbps()).collect();
         out.push(FormulationSummary {
             name: "single-rate",
@@ -113,7 +113,7 @@ pub fn compute_with_telemetry(
             head_mbps: delivered.iter().take(head).sum::<f64>() / head as f64,
             degree: s.assignments.iter().map(|a| a.len() as f64).sum::<f64>() / m as f64,
         });
-        result.best_state
+        result.best_state.into_state()
     };
 
     // Warm start for the multi-rate runs: the single-rate optimum is a
@@ -156,11 +156,11 @@ pub fn compute_with_telemetry(
         debug_assert!(problem.is_feasible(&warm_start));
         let result = anneal_parallel_with_telemetry(
             &problem,
-            warm_start.clone(),
+            problem.search_state(warm_start.clone()),
             &anneal_params(seed, m),
             telemetry,
         );
-        let s = &result.best_state;
+        let s = result.best_state.state();
         let delivered: Vec<f64> = (0..m).map(|v| s.delivered_mbps(v)).collect();
         out.push(FormulationSummary {
             name,

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = anneal_parallel(
         &problem,
-        initial,
+        problem.search_state(initial),
         &ParallelParams {
             chains: 4,
             epochs_per_round: 10,
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    let best = &result.best_state;
+    let best = result.best_state.state();
     let mean_rate = best.rates.iter().map(|r| r.mbps()).sum::<f64>() / m as f64;
     let degree = best.assignments.iter().map(|a| a.len()).sum::<usize>() as f64 / m as f64;
     let l = load::coefficient_of_variation(&problem.bandwidth_load(best));

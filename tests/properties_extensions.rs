@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use vod_anneal::{AnnealProblem, MultiRateProblem};
+use vod_anneal::{MultiRateProblem, NeighborProblem};
 use vod_model::{BitRate, ClusterSpec, ObjectiveWeights, Popularity, ServerSpec};
 use vod_placement::traits::PlacementInput;
 use vod_placement::{IncrementalPlacement, PlacementPolicy, SmallestLoadFirstPlacement};

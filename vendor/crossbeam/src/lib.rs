@@ -1,19 +1,26 @@
 //! Offline vendored stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::channel::unbounded` with cloned
-//! senders feeding a single receiver drained after a scope join —
-//! `std::sync::mpsc` has identical semantics for that pattern, so this
-//! shim simply re-exports it under crossbeam's names.
+//! The workspace only uses `crossbeam::channel::{unbounded, bounded}`
+//! with cloned senders feeding a single receiver drained after a scope
+//! join — `std::sync::mpsc` has identical semantics for that pattern,
+//! so this shim simply re-exports it under crossbeam's names.
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer channels (the `crossbeam-channel` subset).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, SyncSender};
 
     /// A channel with unbounded capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// A channel with a fixed capacity: `send` blocks once `cap`
+    /// messages are in flight. (crossbeam's `bounded(0)` rendezvous
+    /// semantics match `sync_channel(0)`.)
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -38,5 +45,20 @@ mod tests {
         assert_eq!(got.len(), 40);
         assert_eq!(got[0], 0);
         assert_eq!(got[39], 309);
+    }
+
+    #[test]
+    fn bounded_fan_in_holds_capacity_worth_of_messages() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(w).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 }
