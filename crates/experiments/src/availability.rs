@@ -48,6 +48,7 @@ fn run_with_failures(
         policy,
         horizon_min: setup.horizon_min,
         failures,
+        shards: setup.shards,
         ..SimConfig::default()
     };
     let sim = Simulation::new(

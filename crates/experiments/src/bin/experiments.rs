@@ -1,8 +1,8 @@
 //! The experiment CLI.
 //!
 //! ```text
-//! experiments <command> [--fast] [--runs N] [--out DIR] [--no-files]
-//!                       [--metrics FILE] [--check FILE]
+//! experiments <command> [--fast] [--runs N] [--shards N] [--out DIR]
+//!                       [--no-files] [--metrics FILE] [--check FILE]
 //!
 //! commands:
 //!   all       every regenerator below, in order
@@ -27,9 +27,12 @@
 //!               steps/sec; prints one machine-readable PERF_SMOKE line
 //!
 //! flags:
+//!   --shards N      engine shards per simulation (default 1; reports are
+//!                   byte-identical at any shard count — CI diffs them)
 //!   --metrics FILE  append one JSONL run-manifest record per experiment
-//!   --check FILE    perf-smoke only: fail if events/sec or SA steps/sec
-//!                   drops more than 30% below the baseline in FILE
+//!   --check FILE    perf-smoke only: fail if events/sec, SA steps/sec or
+//!                   parallel events/sec drops more than 30% below the
+//!                   baseline in FILE
 //! ```
 
 use rand::SeedableRng;
@@ -44,14 +47,19 @@ use vod_experiments::{
     ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload, quality,
     recovery, sa, sa_multirate, striping,
 };
-use vod_model::{BitRate, ObjectiveWeights, Popularity};
-use vod_sim::AdmissionPolicy;
+use vod_model::{
+    BitRate, Catalog, ClusterSpec, Layout, ObjectiveWeights, Popularity, ServerId, ServerSpec,
+    VideoId,
+};
+use vod_sim::{AdmissionPolicy, SimConfig, Simulation};
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
+use vod_workload::{Request, Trace};
 
 struct Args {
     command: String,
     fast: bool,
     runs: Option<u32>,
+    shards: Option<usize>,
     out: Option<String>,
     no_files: bool,
     metrics: Option<String>,
@@ -63,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         command: String::new(),
         fast: false,
         runs: None,
+        shards: None,
         out: None,
         no_files: false,
         metrics: None,
@@ -84,6 +93,16 @@ fn parse_args() -> Result<Args, String> {
                     );
                 }
                 args.runs = Some(runs);
+            }
+            "--shards" => {
+                let v = iter.next().ok_or("--shards needs a value")?;
+                let shards: usize = v.parse().map_err(|_| {
+                    format!("bad --shards value `{v}`: expected a positive integer")
+                })?;
+                if shards == 0 {
+                    return Err("--shards 0 is meaningless; pass a positive shard count".into());
+                }
+                args.shards = Some(shards);
             }
             "--out" => {
                 args.out = Some(iter.next().ok_or("--out needs a value")?);
@@ -145,6 +164,7 @@ fn manifest_record(
         .param("n_servers", setup.n_servers as f64)
         .param("n_videos", setup.n_videos as f64)
         .param("runs", f64::from(setup.runs))
+        .param("shards", setup.shards as f64)
         .param("horizon_min", setup.horizon_min)
         .wall(wall_secs)
         .with_snapshot(&snapshot);
@@ -167,6 +187,78 @@ fn manifest_record(
         }
     }
     record
+}
+
+/// Sharded-engine throughput measurement for the perf smoke: a
+/// pod-structured world (32 independent pods of 8 servers, every
+/// replica set inside one pod) large enough that the decoupled
+/// parallel path fans out to 8 worker threads. Asserts the shards=1
+/// and shards=8 reports are byte-identical first — the throughput
+/// figure is only meaningful if determinism holds — then measures
+/// events/sec of the sharded engine. Returns
+/// `(events, secs, events_per_sec)`.
+fn par_perf_measurement() -> Result<(u64, f64, f64), Box<dyn std::error::Error>> {
+    const PODS: usize = 32;
+    const PER_POD: usize = 8;
+    const SHARDS: usize = 8;
+    let n_servers = PODS * PER_POD;
+    let n_videos = n_servers;
+    // 10-minute MPEG-2 videos on 40 Mbps links: 10 concurrent streams
+    // per server, so the workload below keeps every pod busy without
+    // saturating it.
+    let catalog = Catalog::fixed_rate(n_videos, BitRate::MPEG2, 600)?;
+    let cluster = ClusterSpec::homogeneous(
+        n_servers,
+        ServerSpec {
+            storage_bytes: u64::MAX,
+            bandwidth_kbps: 40_000,
+        },
+    )?;
+    let layout = Layout::new(
+        n_servers,
+        (0..n_videos)
+            .map(|v| {
+                let pod = v / PER_POD;
+                let w = v % PER_POD;
+                vec![
+                    ServerId((pod * PER_POD + w) as u32),
+                    ServerId((pod * PER_POD + (w + 1) % PER_POD) as u32),
+                ]
+            })
+            .collect(),
+    )?;
+    let n_requests = 20_000usize;
+    // 37 is coprime with 256, so the video sequence cycles the whole
+    // catalog uniformly; arrivals are evenly spread over the horizon.
+    let trace = Trace::new(
+        (0..n_requests)
+            .map(|k| Request {
+                arrival_min: k as f64 * (90.0 / n_requests as f64),
+                video: VideoId(((k * 37) % n_videos) as u32),
+            })
+            .collect(),
+    )?;
+    let cfg = |shards| SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let serial = Simulation::new(&catalog, &cluster, &layout, cfg(1))?;
+    let sharded = Simulation::new(&catalog, &cluster, &layout, cfg(SHARDS))?;
+    let a = serial.run(&trace)?;
+    let b = sharded.run(&trace)?;
+    if serde_json::to_string(&a)? != serde_json::to_string(&b)? {
+        return Err("perf smoke: sharded report diverged from the serial report".into());
+    }
+    let telemetry = Telemetry::enabled();
+    let started = Instant::now();
+    let mut iterations = 0u32;
+    while iterations < 2 || started.elapsed().as_secs_f64() < 0.5 {
+        std::hint::black_box(sharded.run_with_telemetry(&trace, &telemetry)?);
+        iterations += 1;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let events = telemetry.snapshot().counter("sim.events");
+    Ok((events, secs, events as f64 / secs))
 }
 
 /// Runs the pinned-size throughput measurements: the paper's cluster
@@ -248,6 +340,10 @@ fn perf_smoke(
     }
     let sa_secs = sa_started.elapsed().as_secs_f64();
     let sa_steps_per_sec = sa_steps as f64 / sa_secs;
+
+    // Sharded-engine measurement (pods world, shards = 8; byte-identity
+    // against the serial engine is asserted inside).
+    let (par_events, par_secs, par_events_per_sec) = par_perf_measurement()?;
     let wall_secs = started.elapsed().as_secs_f64();
 
     let snapshot = telemetry.snapshot();
@@ -264,8 +360,9 @@ fn perf_smoke(
          events={events} arrivals={arrivals} events_per_sec={events_per_sec:.0} \
          requests_per_sec={requests_per_sec:.0} rejection_rate={rejection_rate:.4} \
          sa_steps={sa_steps} sa_steps_per_sec={sa_steps_per_sec:.0} \
+         par_events={par_events} par_events_per_sec={par_events_per_sec:.0} \
          plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} sa_secs={sa_secs:.3} \
-         wall_secs={wall_secs:.3}",
+         par_secs={par_secs:.3} wall_secs={wall_secs:.3}",
         setup.n_servers, setup.n_videos, setup.runs,
     );
 
@@ -275,9 +372,12 @@ fn perf_smoke(
             .phase("plan", plan_secs)
             .phase("simulate", sim_secs)
             .phase("anneal", sa_secs)
-            // Override the wall-clock-derived figure with the phase-local
-            // one (the annealer only ran during `sa_secs`).
-            .rate("sa_steps_per_sec", sa_steps_per_sec);
+            .phase("par_simulate", par_secs)
+            // Override the wall-clock-derived figures with the
+            // phase-local ones (each hot loop only ran during its own
+            // phase).
+            .rate("sa_steps_per_sec", sa_steps_per_sec)
+            .rate("par_events_per_sec", par_events_per_sec);
         ManifestWriter::append_to(path)?.write(&record)?;
     }
 
@@ -287,6 +387,8 @@ fn perf_smoke(
             events_per_sec: f64,
             #[serde(default)]
             sa_steps_per_sec: Option<f64>,
+            #[serde(default)]
+            par_events_per_sec: Option<f64>,
         }
         let baseline: Baseline = serde_json::from_str(&std::fs::read_to_string(path)?)?;
         let floor = baseline.events_per_sec;
@@ -325,6 +427,25 @@ fn perf_smoke(
                  {sa_threshold:.0} (baseline {sa_floor:.0}, delta {sa_delta_pct:+.1}%)"
             );
         }
+        if let Some(par_floor) = baseline.par_events_per_sec {
+            let par_threshold = 0.7 * par_floor;
+            let par_delta_pct = 100.0 * (par_events_per_sec / par_floor - 1.0);
+            if par_events_per_sec < par_threshold {
+                return Err(format!(
+                    "perf smoke regression: {par_events_per_sec:.0} parallel events/sec is \
+                     more than 30% below the baseline {par_floor:.0} (threshold \
+                     {par_threshold:.0}, delta {par_delta_pct:+.1}%)"
+                )
+                .into());
+            }
+            println!(
+                "PERF_SMOKE_PAR_DELTA baseline={par_floor:.0} measured={par_events_per_sec:.0} delta_pct={par_delta_pct:+.1}"
+            );
+            eprintln!(
+                "perf smoke ok: {par_events_per_sec:.0} parallel events/sec >= threshold \
+                 {par_threshold:.0} (baseline {par_floor:.0}, delta {par_delta_pct:+.1}%)"
+            );
+        }
     }
     Ok(())
 }
@@ -336,7 +457,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|perf-smoke> \
-                 [--fast] [--runs N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
+                 [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
             );
             return ExitCode::FAILURE;
         }
@@ -349,6 +470,9 @@ fn main() -> ExitCode {
     };
     if let Some(runs) = args.runs {
         setup.runs = runs;
+    }
+    if let Some(shards) = args.shards {
+        setup.shards = shards;
     }
 
     let base_reporter = if args.no_files {

@@ -23,6 +23,10 @@ pub struct PaperSetup {
     /// Runs averaged per data point ("Each result was an average of …
     /// runs"; reconstructed: 20).
     pub runs: u32,
+    /// Engine shards per simulation ([`vod_sim::SimConfig::shards`]).
+    /// 1 (the default) is the serial engine; higher values opt into the
+    /// sharded engine, whose reports are byte-identical to `shards: 1`.
+    pub shards: usize,
 }
 
 impl Default for PaperSetup {
@@ -35,6 +39,7 @@ impl Default for PaperSetup {
             server_bandwidth_kbps: 1_800_000,
             horizon_min: 90.0,
             runs: 20,
+            shards: 1,
         }
     }
 }

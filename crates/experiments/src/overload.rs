@@ -103,6 +103,7 @@ fn run_cell(
         let config = SimConfig {
             policy: AdmissionPolicy::RoundRobinFailover,
             horizon_min: setup.horizon_min,
+            shards: setup.shards,
             admission: AdmissionConfig {
                 seed: base_seed ^ stream,
                 ..admission.clone()

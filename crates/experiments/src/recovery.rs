@@ -108,6 +108,7 @@ fn run_cell(
         let config = SimConfig {
             policy: AdmissionPolicy::RoundRobinFailover,
             horizon_min: setup.horizon_min,
+            shards: setup.shards,
             failure_model: Some(FailureModel::exponential(
                 MTBF_MIN,
                 mttr_min,

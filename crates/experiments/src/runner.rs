@@ -197,6 +197,7 @@ pub fn run_replications_with_telemetry(
     let config = SimConfig {
         policy,
         horizon_min: setup.horizon_min,
+        shards: setup.shards,
         ..SimConfig::default()
     };
     let sim = Simulation::new(

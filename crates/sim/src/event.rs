@@ -121,12 +121,21 @@ impl DepartureQueue {
 
     /// Schedules a departure.
     pub fn push(&mut self, d: Departure) {
+        let seq = self.seq;
+        self.push_with_seq(d, seq);
+    }
+
+    /// Schedules a departure under an externally assigned sequence
+    /// number (a sharded wrapper hands out globally unique sequence
+    /// numbers so per-shard sub-queues merge in exactly the order a
+    /// single queue would pop). The internal counter advances past
+    /// `seq` so interleaved [`DepartureQueue::push`] calls stay unique.
+    pub fn push_with_seq(&mut self, d: Departure, seq: u64) {
         let j = d.server.index();
         if j >= self.server_head.len() {
             self.server_head.resize(j + 1, NONE);
         }
-        let seq = self.seq;
-        self.seq += 1;
+        self.seq = self.seq.max(seq + 1);
         let head = self.server_head[j];
         let slot = Slot {
             kbps: d.kbps,
@@ -173,6 +182,13 @@ impl DepartureQueue {
     /// The next departure's instant, if any.
     pub fn next_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.at)
+    }
+
+    /// The next departure's full `(time, sequence)` ordering key, if
+    /// any — what a cross-shard merge compares to reproduce the single
+    /// queue's deterministic pop order.
+    pub fn next_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.first().map(HeapEntry::key)
     }
 
     /// Removes every departure on `server` whose epoch matches `epoch` —
@@ -316,6 +332,161 @@ impl DepartureQueue {
         }
         self.heap[pos] = entry;
         self.slots[entry.handle as usize].heap_pos = pos as u32;
+    }
+}
+
+/// A bank of per-shard [`DepartureQueue`]s behind the single-queue API.
+///
+/// Servers are partitioned across sub-queues by an owner map; every
+/// push draws one *global* sequence number and forwards it to the
+/// owning sub-queue via [`DepartureQueue::push_with_seq`], so the keys
+/// in all sub-queues are drawn from one totally ordered stream. Popping
+/// the minimum `(time, sequence)` head across sub-queues therefore
+/// reproduces, event for event, the order a single queue would pop —
+/// the determinism contract the sharded engine is built on. With one
+/// shard this degenerates to a thin wrapper over [`DepartureQueue`].
+#[derive(Debug)]
+pub struct ShardedDepartureQueue {
+    queues: Vec<DepartureQueue>,
+    /// Owning sub-queue of each server (contiguous block partition).
+    owner: Vec<u32>,
+    /// Next global sequence number.
+    seq: u64,
+    /// Live departures across all sub-queues.
+    len: usize,
+    /// High-water mark of `len` over this queue's lifetime.
+    peak_len: usize,
+    /// Pushes routed to each sub-queue (per-shard telemetry).
+    pushes: Vec<u64>,
+}
+
+impl ShardedDepartureQueue {
+    /// A queue bank for `servers` servers split into `shards`
+    /// contiguous blocks (server `j` goes to shard `j * shards /
+    /// servers`). `shards` is clamped to `[1, max(servers, 1)]`.
+    pub fn new(servers: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, servers.max(1));
+        let owner: Vec<u32> = (0..servers)
+            .map(|j| ((j * shards) / servers.max(1)) as u32)
+            .collect();
+        let mut queues = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let servers_in = owner.iter().filter(|&&o| o == s as u32).count();
+            queues.push(DepartureQueue::with_capacity(servers_in.max(1)));
+        }
+        ShardedDepartureQueue {
+            queues,
+            owner,
+            seq: 0,
+            len: 0,
+            peak_len: 0,
+            pushes: vec![0; shards],
+        }
+    }
+
+    /// Number of sub-queues.
+    pub fn n_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The owning sub-queue index of `server` (servers past the owner
+    /// map — never the case in a validated run — fold into the last).
+    #[inline]
+    fn shard_of(&self, server: ServerId) -> usize {
+        self.owner
+            .get(server.index())
+            .map(|&s| s as usize)
+            .unwrap_or(self.queues.len() - 1)
+    }
+
+    /// Schedules a departure under the next global sequence number.
+    pub fn push(&mut self, d: Departure) {
+        let s = self.shard_of(d.server);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queues[s].push_with_seq(d, seq);
+        self.pushes[s] += 1;
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+    }
+
+    /// The sub-queue holding the globally minimal `(time, sequence)`
+    /// head, if any departure is queued.
+    #[inline]
+    fn min_shard(&self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (s, q) in self.queues.iter().enumerate() {
+            if let Some((at, seq)) = q.next_key() {
+                if best.is_none_or(|(bat, bseq, _)| (at, seq) < (bat, bseq)) {
+                    best = Some((at, seq, s));
+                }
+            }
+        }
+        best.map(|(_, _, s)| s)
+    }
+
+    /// Removes and returns the next departure at or before `now`, in
+    /// global `(time, sequence)` order.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Departure> {
+        let s = self.min_shard()?;
+        let d = self.queues[s].pop_due(now)?;
+        self.len -= 1;
+        Some(d)
+    }
+
+    /// The next departure's instant across all sub-queues, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queues
+            .iter()
+            .filter_map(DepartureQueue::next_time)
+            .min()
+    }
+
+    /// Removes every epoch-matching departure on `server` into `out`
+    /// in `(time, sequence)` order; see
+    /// [`DepartureQueue::extract_active_into`].
+    pub fn extract_active_into(&mut self, server: ServerId, epoch: u32, out: &mut Vec<Departure>) {
+        let s = self.shard_of(server);
+        self.queues[s].extract_active_into(server, epoch, out);
+        self.len -= out.len();
+    }
+
+    /// [`Self::extract_active_into`] returning a fresh `Vec` (test and
+    /// non-hot-path convenience).
+    pub fn extract_active(&mut self, server: ServerId, epoch: u32) -> Vec<Departure> {
+        let mut out = Vec::new();
+        self.extract_active_into(server, epoch, &mut out);
+        out
+    }
+
+    /// Drains every remaining departure in global `(time, sequence)`
+    /// order (end-of-run cleanup).
+    pub fn drain_all(&mut self) -> Vec<Departure> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(d) = self.pop_due(SimTime(u64::MAX)) {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Number of scheduled departures across all sub-queues.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no streams are active.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Most departures ever queued at once, cluster-wide.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Pushes routed to each sub-queue over this queue's lifetime.
+    pub fn per_shard_pushes(&self) -> &[u64] {
+        &self.pushes
     }
 }
 
@@ -494,6 +665,86 @@ mod tests {
         // the re-pushed extractions.
         assert!(q.slots.len() <= 16, "slab grew to {}", q.slots.len());
         assert_eq!(q.peak_len(), 8);
+    }
+
+    #[test]
+    fn sharded_pop_order_matches_single_queue() {
+        // Pseudo-random pushes over 8 servers: the 4-shard bank must
+        // pop the exact sequence a single queue pops.
+        let mut single = DepartureQueue::new();
+        let mut sharded = ShardedDepartureQueue::new(8, 4);
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let d = Departure {
+                video: VideoId((x >> 32) as u32 % 10),
+                ..dep(x % 50, (x >> 8) as u32 % 8)
+            };
+            single.push(d);
+            sharded.push(d);
+        }
+        assert_eq!(sharded.len(), single.len());
+        loop {
+            let a = single.pop_due(SimTime(u64::MAX));
+            let b = sharded.pop_due(SimTime(u64::MAX));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.peak_len(), single.peak_len());
+    }
+
+    #[test]
+    fn sharded_routes_by_block_partition() {
+        let mut q = ShardedDepartureQueue::new(8, 4);
+        assert_eq!(q.n_shards(), 4);
+        for server in 0..8u32 {
+            q.push(dep(10, server));
+        }
+        // Contiguous blocks of two servers per shard.
+        assert_eq!(q.per_shard_pushes(), &[2, 2, 2, 2]);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn sharded_extract_and_drain_preserve_global_order() {
+        let mut q = ShardedDepartureQueue::new(4, 2);
+        q.push(dep(30, 0)); // seq 0, shard 0
+        q.push(dep(10, 3)); // seq 1, shard 1
+        q.push(dep(10, 0)); // seq 2, shard 0
+        q.push(dep(20, 3)); // seq 3, shard 1
+        let got = q.extract_active(ServerId(3), 0);
+        assert_eq!(
+            got.iter().map(|d| d.at.ticks()).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
+        assert_eq!(q.len(), 2);
+        let times: Vec<u64> = q.drain_all().iter().map(|d| d.at.ticks()).collect();
+        assert_eq!(times, vec![10, 30]);
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 4);
+    }
+
+    #[test]
+    fn sharded_same_tick_ties_pop_in_push_order_across_shards() {
+        let mut q = ShardedDepartureQueue::new(4, 4);
+        for server in [3u32, 0, 2, 1] {
+            q.push(dep(10, server));
+        }
+        let servers: Vec<u32> = q.drain_all().iter().map(|d| d.server.0).collect();
+        assert_eq!(servers, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn sharded_clamps_shard_count() {
+        let q = ShardedDepartureQueue::new(2, 16);
+        assert_eq!(q.n_shards(), 2);
+        let q = ShardedDepartureQueue::new(5, 0);
+        assert_eq!(q.n_shards(), 1);
     }
 
     #[test]

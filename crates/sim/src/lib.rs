@@ -28,11 +28,19 @@
 //! * [`striping`] — the wide-striping comparator architecture the paper
 //!   argues against (perfect balance, full failure coupling);
 //! * [`metrics`] — rejection accounting and load-imbalance sampling;
+//! * [`shard`] — deterministic partitioning of servers into independent
+//!   groups for the parallel engine;
 //! * [`engine`] — the run loop tying it together.
 //!
-//! The simulator is single-threaded and allocation-free on the hot path;
-//! parallelism lives one level up (the experiment runner fans out
-//! independent replications across threads).
+//! The serial run loop is allocation-free on the hot path. Setting
+//! [`SimConfig::shards`] above 1 opts into the sharded engine: when the
+//! layout decomposes into independent server groups (and no coupling
+//! features are active) each group runs on its own thread and the
+//! per-shard results are merged deterministically; otherwise the serial
+//! loop runs with a sharded event queue whose `(time, seq)` merge order
+//! is identical to the single-queue order. Either way, reports are
+//! byte-identical to a `shards: 1` run. Above that, the experiment
+//! runner still fans out independent replications across threads.
 //!
 //! ```
 //! use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ServerId, ServerSpec};
@@ -73,6 +81,7 @@ pub mod failure;
 pub mod metrics;
 pub mod repair;
 pub mod server;
+pub mod shard;
 pub mod striping;
 pub mod time;
 
@@ -82,5 +91,6 @@ pub use engine::{SimConfig, Simulation};
 pub use failure::{Brownout, BrownoutModel, FailureModel, FailurePlan, Outage, RackFailures};
 pub use metrics::SimReport;
 pub use repair::{FailoverPolicy, RepairConfig};
+pub use shard::ShardPlan;
 pub use striping::{StripedConfig, StripedSimulation};
 pub use time::SimTime;

@@ -35,8 +35,15 @@ pub struct MetricsCollector {
     abandoned: u64,
     degraded_served: u64,
     wait_times_min: Vec<f64>,
-    offered_kbps_min: f64,
-    delivered_kbps_min: f64,
+    /// Offered traffic in exact `kbps·seconds` (integer so shard merges
+    /// are order-independent); converted to `kbps·minutes` once, in
+    /// [`MetricsCollector::finish`].
+    offered_kbps_s: u128,
+    /// Delivered traffic in exact `kbps·seconds`.
+    delivered_kbps_s: u128,
+    /// Traffic booked as delivered but later killed or rate-reduced, in
+    /// exact `kbps·ticks` (millisecond resolution).
+    undelivered_kbps_ticks: u128,
     brownout_active_min: f64,
     repair_bytes_copied: u64,
     repair_copies: u64,
@@ -73,8 +80,9 @@ impl MetricsCollector {
             abandoned: 0,
             degraded_served: 0,
             wait_times_min: Vec::new(),
-            offered_kbps_min: 0.0,
-            delivered_kbps_min: 0.0,
+            offered_kbps_s: 0,
+            delivered_kbps_s: 0,
+            undelivered_kbps_ticks: 0,
             brownout_active_min: 0.0,
             repair_bytes_copied: 0,
             repair_copies: 0,
@@ -166,22 +174,24 @@ impl MetricsCollector {
         self.wait_times_min.push(wait_min);
     }
 
-    /// Adds `kbps × minutes` of *offered* traffic (each arrival's full
-    /// rate over its full duration) to the goodput denominator.
-    pub fn on_offered(&mut self, kbps_min: f64) {
-        self.offered_kbps_min += kbps_min;
+    /// Adds `kbps × seconds` of *offered* traffic (each arrival's full
+    /// rate over its full duration) to the goodput denominator. Exact
+    /// integer accounting: accumulation order never changes the total.
+    pub fn on_offered(&mut self, kbps: u64, duration_s: u64) {
+        self.offered_kbps_s += kbps as u128 * duration_s as u128;
     }
 
-    /// Adds delivered `kbps × minutes` (at the admitted, possibly
+    /// Adds delivered `kbps × seconds` (at the admitted, possibly
     /// degraded, rate) to the goodput numerator.
-    pub fn on_delivered(&mut self, kbps_min: f64) {
-        self.delivered_kbps_min += kbps_min;
+    pub fn on_delivered(&mut self, kbps: u64, duration_s: u64) {
+        self.delivered_kbps_s += kbps as u128 * duration_s as u128;
     }
 
-    /// Subtracts `kbps × minutes` a previously admitted stream will no
-    /// longer deliver (killed or rate-reduced mid-flight).
-    pub fn on_undelivered(&mut self, kbps_min: f64) {
-        self.delivered_kbps_min -= kbps_min;
+    /// Books `kbps` over `remaining_ticks` milliseconds a previously
+    /// admitted stream will no longer deliver (killed or rate-reduced
+    /// mid-flight); subtracted from the numerator at finish time.
+    pub fn on_undelivered(&mut self, kbps: u64, remaining_ticks: u64) {
+        self.undelivered_kbps_ticks += kbps as u128 * remaining_ticks as u128;
     }
 
     /// Stores the total browned-out server time for the run.
@@ -245,6 +255,65 @@ impl MetricsCollector {
         }
     }
 
+    /// Folds another collector into this one — the cross-shard merge of
+    /// the sharded engine. All event counts and the goodput integrals
+    /// are integers, so the merged totals equal a serial run's exactly,
+    /// whatever order shards finish in. Float fields (wait times,
+    /// imbalance sums, the sample series) are only *exact* when the
+    /// inputs have disjoint support — true by construction for engine
+    /// shards, which serve disjoint server groups and defer load
+    /// sampling to the coordinator's replay.
+    pub fn absorb(&mut self, other: MetricsCollector) {
+        debug_assert_eq!(
+            self.per_video_arrivals.len(),
+            other.per_video_arrivals.len()
+        );
+        self.arrivals += other.arrivals;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.redirected += other.redirected;
+        self.disrupted += other.disrupted;
+        self.resumed += other.resumed;
+        self.degraded += other.degraded;
+        self.queued += other.queued;
+        self.retried += other.retried;
+        self.abandoned += other.abandoned;
+        self.degraded_served += other.degraded_served;
+        self.wait_times_min.extend(other.wait_times_min);
+        self.offered_kbps_s += other.offered_kbps_s;
+        self.delivered_kbps_s += other.delivered_kbps_s;
+        self.undelivered_kbps_ticks += other.undelivered_kbps_ticks;
+        self.brownout_active_min += other.brownout_active_min;
+        self.repair_bytes_copied += other.repair_bytes_copied;
+        self.repair_copies += other.repair_copies;
+        self.time_to_redundancy_min += other.time_to_redundancy_min;
+        self.redundancy_deficit_video_min += other.redundancy_deficit_video_min;
+        self.unavailability_video_min += other.unavailability_video_min;
+        for (a, b) in self
+            .per_video_arrivals
+            .iter_mut()
+            .zip(other.per_video_arrivals)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .per_video_rejections
+            .iter_mut()
+            .zip(other.per_video_rejections)
+        {
+            *a += b;
+        }
+        self.imbalance_cv_sum += other.imbalance_cv_sum;
+        self.imbalance_maxdev_rel_sum += other.imbalance_maxdev_rel_sum;
+        self.imbalance_samples += other.imbalance_samples;
+        self.imbalance_maxdev_abs_sum += other.imbalance_maxdev_abs_sum;
+        self.all_samples += other.all_samples;
+        self.peak_streams = self.peak_streams.max(other.peak_streams);
+        self.stream_time_integral += other.stream_time_integral;
+        self.last_sample_min = self.last_sample_min.max(other.last_sample_min);
+        self.series.extend(other.series);
+    }
+
     /// Finalizes into an immutable report. `horizon_min` is the simulated
     /// peak-period length.
     pub fn finish(self, horizon_min: f64) -> SimReport {
@@ -264,8 +333,11 @@ impl MetricsCollector {
             mean_wait_min: stats::sample_mean(&self.wait_times_min),
             wait_p50_min: stats::percentile(&self.wait_times_min, 0.50),
             wait_p95_min: stats::percentile(&self.wait_times_min, 0.95),
-            goodput: if self.offered_kbps_min > 0.0 {
-                (self.delivered_kbps_min / self.offered_kbps_min).clamp(0.0, 1.0)
+            goodput: if self.offered_kbps_s > 0 {
+                let offered_kbps_min = self.offered_kbps_s as f64 / 60.0;
+                let delivered_kbps_min = self.delivered_kbps_s as f64 / 60.0
+                    - self.undelivered_kbps_ticks as f64 / 60_000.0;
+                (delivered_kbps_min / offered_kbps_min).clamp(0.0, 1.0)
             } else {
                 1.0
             },
@@ -456,9 +528,11 @@ mod tests {
         c.on_arrival(0);
         c.on_wait(6.0);
         c.on_admit(false);
-        c.on_offered(100.0);
-        c.on_delivered(80.0);
-        c.on_undelivered(10.0);
+        // 100 kbps offered for 60 s, 80 delivered, 10 kbps·min killed:
+        // goodput = (80 - 10) / 100.
+        c.on_offered(100, 60);
+        c.on_delivered(80, 60);
+        c.on_undelivered(10, 60_000);
         c.set_brownout_active_min(3.5);
         let r = c.finish(90.0);
         assert_eq!(
@@ -472,6 +546,33 @@ mod tests {
         assert!((r.wait_p50_min - 4.0).abs() < 1e-12);
         assert!((r.wait_p95_min - 5.8).abs() < 1e-12);
         assert_eq!(r.brownout_active_min, 3.5);
+    }
+
+    #[test]
+    fn absorb_merges_shard_collectors_exactly() {
+        // Two collectors with disjoint per-video support, as engine
+        // shards produce, must merge into the serial-run totals.
+        let mut a = MetricsCollector::new(3);
+        a.on_arrival(0);
+        a.on_admit(false);
+        a.on_offered(100, 60);
+        a.on_delivered(100, 60);
+        a.on_wait(0.0);
+        let mut b = MetricsCollector::new(3);
+        b.on_arrival(2);
+        b.on_reject(2);
+        b.on_offered(100, 120);
+        b.on_undelivered(50, 60_000);
+        let mut merged = MetricsCollector::new(3);
+        merged.absorb(a);
+        merged.absorb(b);
+        let r = merged.finish(90.0);
+        assert_eq!((r.arrivals, r.admitted, r.rejected), (2, 1, 1));
+        assert_eq!(r.per_video_arrivals, vec![1, 0, 1]);
+        assert_eq!(r.per_video_rejections, vec![0, 0, 1]);
+        // offered 300 kbps·min, delivered 100 - 50 killed = 50.
+        assert!((r.goodput - 50.0 / 300.0).abs() < 1e-12);
+        assert!(r.is_conservative());
     }
 
     #[test]

@@ -470,6 +470,124 @@ fn default_config_reproduces_pre_pipeline_golden_reports() {
 }
 
 #[test]
+fn golden_reports_hold_at_eight_shards() {
+    // The same two golden scenarios, replayed through the sharded
+    // engine: `shards: 8` must reproduce every golden field exactly.
+    let (p, plan, trace) = golden_scenario();
+    let plain = Simulation::new(
+        p.catalog(),
+        p.cluster(),
+        &plan.layout,
+        SimConfig {
+            shards: 8,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap()
+    .run(&trace)
+    .unwrap();
+    assert_matches_golden(&plain, GOLDEN_PLAIN);
+
+    let config = SimConfig {
+        policy: AdmissionPolicy::RoundRobinFailover,
+        failure_model: Some(FailureModel::exponential(45.0, 12.0, 0xF00D)),
+        repair: RepairConfig {
+            bandwidth_kbps: 80_000,
+            max_concurrent: 4,
+        },
+        failover: FailoverPolicy::ResumeOrDegrade,
+        shards: 8,
+        ..SimConfig::default()
+    };
+    let sim_cluster = ClusterSpec::paper_default(20);
+    let recov = Simulation::new(p.catalog(), &sim_cluster, &plan.layout, config)
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+    assert_matches_golden(&recov, GOLDEN_RECOV);
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_across_policy_combos() {
+    // Every policy combination this suite covers, replayed at shards=1
+    // and shards=8: the serialized reports must match byte for byte.
+    let (p, plan, trace) = golden_scenario();
+    let combos: Vec<(&str, SimConfig)> = vec![
+        ("plain", SimConfig::default()),
+        (
+            "recovery",
+            SimConfig {
+                policy: AdmissionPolicy::RoundRobinFailover,
+                failure_model: Some(FailureModel::exponential(45.0, 12.0, 0xF00D)),
+                repair: RepairConfig {
+                    bandwidth_kbps: 80_000,
+                    max_concurrent: 4,
+                },
+                failover: FailoverPolicy::ResumeOrDegrade,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "queueing",
+            SimConfig {
+                admission: AdmissionConfig {
+                    policy: QueuePolicy::Queue { patience_min: 2.0 },
+                    max_retries: 2,
+                    ..AdmissionConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "brownout+degrade+audit",
+            SimConfig {
+                policy: AdmissionPolicy::RoundRobinFailover,
+                failure_model: Some(FailureModel::brownouts_only(
+                    BrownoutModel {
+                        mtbf_min: 40.0,
+                        mttr_min: 12.0,
+                        min_capacity_frac: 0.3,
+                        max_capacity_frac: 0.7,
+                    },
+                    0xB120,
+                )),
+                failover: FailoverPolicy::ResumeOrDegrade,
+                admission: AdmissionConfig {
+                    policy: QueuePolicy::QueueOrDegrade { patience_min: 1.0 },
+                    max_retries: 2,
+                    ..AdmissionConfig::default()
+                },
+                audit: true,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "backbone",
+            SimConfig {
+                policy: AdmissionPolicy::BackboneRedirect {
+                    backbone_capacity_kbps: 400_000,
+                },
+                ..SimConfig::default()
+            },
+        ),
+    ];
+    for (name, base) in combos {
+        let run = |shards: usize| {
+            let config = SimConfig {
+                shards,
+                ..base.clone()
+            };
+            let report = Simulation::new(p.catalog(), p.cluster(), &plan.layout, config)
+                .unwrap()
+                .run(&trace)
+                .unwrap();
+            serde_json::to_string(&report).unwrap()
+        };
+        assert_eq!(run(1), run(8), "combo `{name}` diverged at shards=8");
+    }
+}
+
+#[test]
 fn passive_admission_configs_are_byte_identical_to_block() {
     let (p, plan, trace) = golden_scenario();
     let run = |admission: AdmissionConfig, audit: bool| {
