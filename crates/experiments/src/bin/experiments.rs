@@ -22,6 +22,7 @@
 //!   sa2       multi-rate replica extension, objective ablation (SA-2)
 //!   striping  striping-vs-replication architectural comparison (A-5)
 //!   overload  admission queueing, retries and brownouts under overload (A-6)
+//!   controller  online replication controller under intra-run drift (A-7)
 //!   perf-smoke  pinned-size throughput measurements (N = 8, M = 200,
 //!               fixed seed): simulator events/sec and annealer SA
 //!               steps/sec; prints one machine-readable PERF_SMOKE line
@@ -44,8 +45,8 @@ use vod_experiments::report::Reporter;
 use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
 use vod_experiments::{
-    ablation, availability, bound, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload, quality,
-    recovery, sa, sa_multirate, striping,
+    ablation, availability, bound, controller, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload,
+    quality, recovery, sa, sa_multirate, striping,
 };
 use vod_model::{
     BitRate, Catalog, ClusterSpec, Layout, ObjectiveWeights, Popularity, ServerId, ServerSpec,
@@ -55,6 +56,7 @@ use vod_sim::{AdmissionPolicy, SimConfig, Simulation};
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
 use vod_workload::{Request, Trace};
 
+#[derive(Debug)]
 struct Args {
     command: String,
     fast: bool,
@@ -66,7 +68,20 @@ struct Args {
     check: Option<String>,
 }
 
+/// Largest sensible `--shards`: the engine merges per-shard results, so
+/// shard counts beyond any supported cluster size only add overhead (a
+/// huge value is almost certainly a typo'd flag).
+const MAX_SHARDS: usize = 256;
+
+/// Largest sensible `--runs`: each run is a full 90-minute simulation;
+/// five digits of replications is a typo, not an experiment.
+const MAX_RUNS: u32 = 10_000;
+
 fn parse_args() -> Result<Args, String> {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         command: String::new(),
         fast: false,
@@ -77,7 +92,6 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         check: None,
     };
-    let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--fast" => args.fast = true,
@@ -92,6 +106,12 @@ fn parse_args() -> Result<Args, String> {
                         "--runs 0 would average over nothing; pass a positive run count".into(),
                     );
                 }
+                if runs > MAX_RUNS {
+                    return Err(format!(
+                        "--runs {runs} exceeds the sanity cap of {MAX_RUNS}; every run is a \
+                         full peak-period simulation — did a flag value go astray?"
+                    ));
+                }
                 args.runs = Some(runs);
             }
             "--shards" => {
@@ -102,16 +122,35 @@ fn parse_args() -> Result<Args, String> {
                 if shards == 0 {
                     return Err("--shards 0 is meaningless; pass a positive shard count".into());
                 }
+                if shards > MAX_SHARDS {
+                    return Err(format!(
+                        "--shards {shards} exceeds the sanity cap of {MAX_SHARDS}; shards \
+                         beyond the server count never help (reports are identical at any \
+                         shard count)"
+                    ));
+                }
                 args.shards = Some(shards);
             }
             "--out" => {
-                args.out = Some(iter.next().ok_or("--out needs a value")?);
+                let v = iter.next().ok_or("--out needs a value")?;
+                if v.is_empty() {
+                    return Err("--out needs a non-empty directory path".into());
+                }
+                args.out = Some(v);
             }
             "--metrics" => {
-                args.metrics = Some(iter.next().ok_or("--metrics needs a value")?);
+                let v = iter.next().ok_or("--metrics needs a value")?;
+                if v.is_empty() {
+                    return Err("--metrics needs a non-empty file path".into());
+                }
+                args.metrics = Some(v);
             }
             "--check" => {
-                args.check = Some(iter.next().ok_or("--check needs a value")?);
+                let v = iter.next().ok_or("--check needs a value")?;
+                if v.is_empty() {
+                    return Err("--check needs a non-empty file path".into());
+                }
+                args.check = Some(v);
             }
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
@@ -121,6 +160,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.command.is_empty() {
         args.command = "all".to_string();
+    }
+    if args.check.is_some() && args.command != "perf-smoke" {
+        return Err(format!(
+            "--check only applies to perf-smoke (got command `{}`); it compares \
+             throughput against a baseline file",
+            args.command
+        ));
     }
     Ok(args)
 }
@@ -147,6 +193,7 @@ const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
     ("sa2", 0x5A21, sa_multirate::run),
     ("striping", 0xA4, striping::run),
     ("overload", 0x0AD6, overload::run),
+    ("controller", 0xC0A7, controller::run),
 ];
 
 /// Builds the manifest record for one finished experiment: pinned
@@ -456,7 +503,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|perf-smoke> \
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|perf-smoke> \
                  [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
             );
             return ExitCode::FAILURE;
@@ -546,5 +593,95 @@ fn main() -> ExitCode {
             eprintln!("experiment failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, "all");
+        assert!(!a.fast && a.runs.is_none() && a.shards.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let a = parse(&[
+            "controller",
+            "--fast",
+            "--runs",
+            "3",
+            "--shards",
+            "8",
+            "--out",
+            "r",
+            "--metrics",
+            "m.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "controller");
+        assert!(a.fast);
+        assert_eq!(a.runs, Some(3));
+        assert_eq!(a.shards, Some(8));
+        assert_eq!(a.out.as_deref(), Some("r"));
+        assert_eq!(a.metrics.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
+    fn zero_values_get_actionable_errors() {
+        let e = parse(&["--shards", "0"]).unwrap_err();
+        assert!(e.contains("--shards 0"), "{e}");
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(&["--runs", "0"]).unwrap_err();
+        assert!(e.contains("--runs 0"), "{e}");
+    }
+
+    #[test]
+    fn non_numeric_values_name_the_flag_and_input() {
+        let e = parse(&["--shards", "many"]).unwrap_err();
+        assert!(e.contains("--shards") && e.contains("many"), "{e}");
+        let e = parse(&["--runs", "-4"]).unwrap_err();
+        assert!(e.contains("--runs") && e.contains("-4"), "{e}");
+    }
+
+    #[test]
+    fn absurd_values_hit_the_sanity_caps() {
+        let e = parse(&["--shards", "100000"]).unwrap_err();
+        assert!(e.contains("sanity cap"), "{e}");
+        let e = parse(&["--runs", "2000000"]).unwrap_err();
+        assert!(e.contains("sanity cap"), "{e}");
+    }
+
+    #[test]
+    fn missing_and_empty_values_rejected() {
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+        let e = parse(&["--out", ""]).unwrap_err();
+        assert!(e.contains("--out"), "{e}");
+        let e = parse(&["--metrics", ""]).unwrap_err();
+        assert!(e.contains("--metrics"), "{e}");
+    }
+
+    #[test]
+    fn check_requires_perf_smoke() {
+        let e = parse(&["fig4", "--check", "base.json"]).unwrap_err();
+        assert!(e.contains("perf-smoke") && e.contains("fig4"), "{e}");
+        assert!(parse(&["perf-smoke", "--check", "base.json"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_positionals_rejected() {
+        let e = parse(&["--shard", "4"]).unwrap_err();
+        assert!(e.contains("--shard"), "{e}");
+        let e = parse(&["fig4", "fig5"]).unwrap_err();
+        assert!(e.contains("fig5"), "{e}");
     }
 }

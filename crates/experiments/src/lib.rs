@@ -23,6 +23,7 @@
 //! | sa2 | [`sa_multirate`] | multi-rate replica extension, objective ablation (SA-2) |
 //! | striping | [`striping`] | striping-vs-replication architectural comparison (A-5) |
 //! | overload | [`overload`] | admission queueing, retries and brownouts under overload (A-6) |
+//! | controller | [`controller`] | online replication controller under intra-run drift (A-7) |
 //!
 //! All simulation experiments average over seeded runs fanned out across
 //! OS threads ([`runner`]); outputs go to stdout as aligned tables and to
@@ -35,6 +36,7 @@ pub mod ablation;
 pub mod availability;
 pub mod bound;
 pub mod config;
+pub mod controller;
 pub mod drift;
 pub mod fig1;
 pub mod fig2;

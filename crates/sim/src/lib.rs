@@ -24,7 +24,12 @@
 //!   the stochastic MTBF/MTTR fault model (recovery experiments), and
 //!   partial bandwidth brownouts;
 //! * [`repair`] — mid-run re-replication of lost redundancy and the
-//!   stream-failover policies (resume / graceful degradation);
+//!   stream-failover policies (resume / graceful degradation); the
+//!   shared actuation mechanism (metered copies, storage reservations,
+//!   surplus retirement) lives in the private `actuation` module;
+//! * [`controller`] — the online replication controller: EWMA sensing of
+//!   observed per-video demand, hysteresis hot/cold classification, and
+//!   periodic re-replication/retirement of drifting titles;
 //! * [`striping`] — the wide-striping comparator architecture the paper
 //!   argues against (perfect balance, full failure coupling);
 //! * [`metrics`] — rejection accounting and load-imbalance sampling;
@@ -72,8 +77,10 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod actuation;
 pub mod admission;
 mod audit;
+pub mod controller;
 pub mod dispatch;
 pub mod engine;
 pub mod event;
@@ -86,6 +93,7 @@ pub mod striping;
 pub mod time;
 
 pub use admission::{AdmissionConfig, QueuePolicy};
+pub use controller::ControllerConfig;
 pub use dispatch::AdmissionPolicy;
 pub use engine::{SimConfig, Simulation};
 pub use failure::{Brownout, BrownoutModel, FailureModel, FailurePlan, Outage, RackFailures};

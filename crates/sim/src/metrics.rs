@@ -50,6 +50,13 @@ pub struct MetricsCollector {
     time_to_redundancy_min: f64,
     redundancy_deficit_video_min: f64,
     unavailability_video_min: f64,
+    controller_ticks: u64,
+    controller_backoffs: u64,
+    controller_promotions: u64,
+    controller_demotions: u64,
+    controller_retired: u64,
+    controller_copies: u64,
+    controller_bytes_copied: u64,
     per_video_arrivals: Vec<u64>,
     per_video_rejections: Vec<u64>,
     imbalance_cv_sum: f64,
@@ -89,6 +96,13 @@ impl MetricsCollector {
             time_to_redundancy_min: 0.0,
             redundancy_deficit_video_min: 0.0,
             unavailability_video_min: 0.0,
+            controller_ticks: 0,
+            controller_backoffs: 0,
+            controller_promotions: 0,
+            controller_demotions: 0,
+            controller_retired: 0,
+            controller_copies: 0,
+            controller_bytes_copied: 0,
             per_video_arrivals: vec![0; n_videos],
             per_video_rejections: vec![0; n_videos],
             imbalance_cv_sum: 0.0,
@@ -227,6 +241,27 @@ impl MetricsCollector {
         self.unavailability_video_min = unavailability_video_min;
     }
 
+    /// Stores the online replication controller's end-of-run accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_controller_stats(
+        &mut self,
+        ticks: u64,
+        backoffs: u64,
+        promotions: u64,
+        demotions: u64,
+        retired: u64,
+        copies: u64,
+        bytes_copied: u64,
+    ) {
+        self.controller_ticks = ticks;
+        self.controller_backoffs = backoffs;
+        self.controller_promotions = promotions;
+        self.controller_demotions = demotions;
+        self.controller_retired = retired;
+        self.controller_copies = copies;
+        self.controller_bytes_copied = bytes_copied;
+    }
+
     /// Takes a load sample: `stream_loads` are per-server concurrent
     /// stream counts at minute `now_min`.
     pub fn sample_loads(&mut self, stream_loads: &[f64], now_min: f64) {
@@ -289,6 +324,13 @@ impl MetricsCollector {
         self.time_to_redundancy_min += other.time_to_redundancy_min;
         self.redundancy_deficit_video_min += other.redundancy_deficit_video_min;
         self.unavailability_video_min += other.unavailability_video_min;
+        self.controller_ticks += other.controller_ticks;
+        self.controller_backoffs += other.controller_backoffs;
+        self.controller_promotions += other.controller_promotions;
+        self.controller_demotions += other.controller_demotions;
+        self.controller_retired += other.controller_retired;
+        self.controller_copies += other.controller_copies;
+        self.controller_bytes_copied += other.controller_bytes_copied;
         for (a, b) in self
             .per_video_arrivals
             .iter_mut()
@@ -347,6 +389,13 @@ impl MetricsCollector {
             time_to_redundancy_min: self.time_to_redundancy_min,
             redundancy_deficit_video_min: self.redundancy_deficit_video_min,
             unavailability_video_min: self.unavailability_video_min,
+            controller_ticks: self.controller_ticks,
+            controller_backoffs: self.controller_backoffs,
+            controller_promotions: self.controller_promotions,
+            controller_demotions: self.controller_demotions,
+            controller_retired: self.controller_retired,
+            controller_copies: self.controller_copies,
+            controller_bytes_copied: self.controller_bytes_copied,
             rejection_rate: if self.arrivals == 0 {
                 0.0
             } else {
@@ -447,6 +496,30 @@ pub struct SimReport {
     /// Video·minutes with zero servable replicas.
     #[serde(default)]
     pub unavailability_video_min: f64,
+    /// Control ticks fired by the online replication controller (zero
+    /// when the controller is off).
+    #[serde(default)]
+    pub controller_ticks: u64,
+    /// Control ticks that backed off (server down, repair busy, or the
+    /// cluster over its streaming-utilization headroom).
+    #[serde(default)]
+    pub controller_backoffs: u64,
+    /// Replication targets raised by the controller.
+    #[serde(default)]
+    pub controller_promotions: u64,
+    /// Replication targets lowered by the controller.
+    #[serde(default)]
+    pub controller_demotions: u64,
+    /// Replicas retired by controller demotions.
+    #[serde(default)]
+    pub controller_retired: u64,
+    /// Re-replication copies completed on the controller's behalf.
+    #[serde(default)]
+    pub controller_copies: u64,
+    /// Bytes copied for controller re-replication (the re-replication
+    /// bandwidth bill, distinct from failure-repair bytes).
+    #[serde(default)]
+    pub controller_bytes_copied: u64,
     /// `rejected / arrivals` — the paper's primary metric.
     pub rejection_rate: f64,
     /// Time-averaged Eq. (3) load-imbalance degree (coefficient of

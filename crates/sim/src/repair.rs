@@ -1,14 +1,13 @@
-//! Mid-run repair: re-replication of lost redundancy.
+//! Mid-run repair policy knobs: re-replication of lost redundancy.
 //!
 //! The paper's replication degrees are chosen offline; a failure at run
-//! time silently reduces them. This module rebuilds the lost replicas
-//! *during* the run: when a server goes down, the [`RepairController`]
+//! time silently reduces them. When a server goes down, the engine
 //! identifies every video whose servable replica count dropped below its
 //! planned target, picks destinations for replacement copies via the
-//! incremental-placement machinery ([`IncrementalPlacement`]), and
-//! streams the copies from surviving holders at a configurable repair
-//! bandwidth. Repair traffic is metered against the source *and*
-//! destination links (and against the shared backbone pool under
+//! incremental-placement machinery, and streams the copies from
+//! surviving holders at a configurable repair bandwidth. Repair traffic
+//! is metered against the source *and* destination links (and against
+//! the shared backbone pool under
 //! [`crate::AdmissionPolicy::BackboneRedirect`]), so it competes with
 //! streaming — aggressive repair raises rejection during the rebuild
 //! window. A replica becomes servable only when its copy completes.
@@ -16,21 +15,17 @@
 //! target are retired (repair-added copies first), so spare storage
 //! recycles across failures instead of filling up monotonically.
 //!
-//! The controller also integrates two robustness metrics over simulated
-//! time: minutes in which *any* video sat below its replication target
-//! (time to full redundancy) and video·minutes with *zero* servable
-//! replicas (unavailability).
+//! This module holds the *policy knobs* ([`RepairConfig`],
+//! [`FailoverPolicy`]); the mechanism — the live content map, metered
+//! transfers, storage reservations and surplus retirement — lives in the
+//! actuation layer (`crate::actuation`), which the online replication
+//! controller ([`crate::controller`]) shares. Both policies draw from
+//! the same repair-bandwidth budget configured here.
 
-use crate::dispatch::Dispatcher;
-use crate::server::LinkState;
-use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use vod_model::{Catalog, ClusterSpec, Layout, ModelError, ReplicationScheme, ServerId, VideoId};
-use vod_placement::traits::PlacementInput;
-use vod_placement::{IncrementalPlacement, PlacementPolicy};
 
-/// Repair-controller knobs.
+/// Repair knobs (shared with the online controller's re-replication
+/// traffic — both draw copies from this bandwidth budget).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RepairConfig {
     /// Bandwidth of one repair copy, in kbps, reserved on both the source
@@ -52,7 +47,7 @@ impl Default for RepairConfig {
 }
 
 impl RepairConfig {
-    /// Whether the controller starts copies at all.
+    /// Whether the actuation layer starts copies at all.
     pub fn enabled(&self) -> bool {
         self.bandwidth_kbps > 0 && self.max_concurrent > 0
     }
@@ -74,918 +69,4 @@ pub enum FailoverPolicy {
     /// [`vod_model::BitRate::LADDER`] (graceful degradation); only
     /// streams that fit at no rate are disrupted.
     ResumeOrDegrade,
-}
-
-/// One in-flight replica copy.
-#[derive(Debug, Clone, Copy)]
-struct ActiveCopy {
-    video: VideoId,
-    src: ServerId,
-    dst: ServerId,
-    kbps: u64,
-    bytes: u64,
-    /// Backbone bandwidth actually charged (0 unless the policy models a
-    /// backbone).
-    backbone_kbps: u64,
-    done_at: SimTime,
-    seq: u64,
-}
-
-/// Run-time replica tracker and repair scheduler.
-///
-/// Owns the *live* content map: which servers hold a servable replica of
-/// each video (the bound [`Layout`] is the initial state; completed
-/// repairs append to it). Data on a down server is not lost — it becomes
-/// servable again on recovery — but it does not count toward redundancy
-/// while the server is down.
-#[derive(Debug)]
-pub(crate) struct RepairController {
-    config: RepairConfig,
-    n_servers: usize,
-    /// Servers holding a full replica (servable when up), per video, in
-    /// round-robin dispatch order; repaired copies append at the end.
-    holders: Vec<Vec<ServerId>>,
-    /// Planned replica count per video (the bound layout's degrees).
-    targets: Vec<u32>,
-    video_bytes: Vec<u64>,
-    /// Per-server stored bytes, *including* reservations of in-flight
-    /// copies (reserved at copy start so concurrent repairs cannot
-    /// oversubscribe storage — Eq. 4 holds throughout).
-    used_bytes: Vec<u64>,
-    capacity_bytes: Vec<u64>,
-    up: Vec<bool>,
-    /// Servable replicas on up servers, per video.
-    alive: Vec<u32>,
-    /// In-flight copies per video.
-    in_flight: Vec<u32>,
-    /// Videos that may need repair (lazily re-checked at pump time).
-    pending: BTreeSet<u32>,
-    /// Planned destinations for replacement copies, refreshed on every
-    /// topology change; empty entries fall back to a greedy choice.
-    planned: Vec<Vec<ServerId>>,
-    copies: Vec<ActiveCopy>,
-    seq: u64,
-    // Metrics.
-    bytes_copied: u64,
-    copies_completed: u64,
-    deficit_videos: u32,
-    unavailable_videos: u32,
-    last_update_min: f64,
-    deficit_min: f64,
-    deficit_video_min: f64,
-    unavailability_video_min: f64,
-}
-
-impl RepairController {
-    pub fn new(
-        catalog: &Catalog,
-        cluster: &ClusterSpec,
-        layout: &Layout,
-        config: RepairConfig,
-    ) -> Self {
-        let n = cluster.len();
-        let m = layout.n_videos();
-        let holders: Vec<Vec<ServerId>> = layout.assignments().to_vec();
-        let video_bytes: Vec<u64> = catalog.videos().iter().map(|v| v.storage_bytes()).collect();
-        let mut used_bytes = vec![0u64; n];
-        for (v, servers) in holders.iter().enumerate() {
-            for &s in servers {
-                used_bytes[s.index()] += video_bytes[v];
-            }
-        }
-        RepairController {
-            config,
-            n_servers: n,
-            targets: holders.iter().map(|h| h.len() as u32).collect(),
-            alive: holders.iter().map(|h| h.len() as u32).collect(),
-            holders,
-            video_bytes,
-            used_bytes,
-            capacity_bytes: cluster.servers().iter().map(|s| s.storage_bytes).collect(),
-            up: vec![true; n],
-            in_flight: vec![0; m],
-            pending: BTreeSet::new(),
-            planned: vec![Vec::new(); m],
-            copies: Vec::new(),
-            seq: 0,
-            bytes_copied: 0,
-            copies_completed: 0,
-            deficit_videos: 0,
-            unavailable_videos: 0,
-            last_update_min: 0.0,
-            deficit_min: 0.0,
-            deficit_video_min: 0.0,
-            unavailability_video_min: 0.0,
-        }
-    }
-
-    /// Current servable holders of `video` (dispatch order). Identical to
-    /// the bound layout until a repair completes.
-    #[inline]
-    pub fn holders(&self, video: VideoId) -> &[ServerId] {
-        &self.holders[video.index()]
-    }
-
-    /// Advances the metric integrals to `now_min`.
-    fn integrate(&mut self, now_min: f64) {
-        let dt = (now_min - self.last_update_min).max(0.0);
-        if self.deficit_videos > 0 {
-            self.deficit_min += dt;
-        }
-        self.deficit_video_min += dt * self.deficit_videos as f64;
-        self.unavailability_video_min += dt * self.unavailable_videos as f64;
-        self.last_update_min = now_min;
-    }
-
-    /// Applies an alive-count delta, maintaining the deficit and
-    /// unavailability counters (call [`Self::integrate`] first).
-    fn bump_alive(&mut self, v: usize, delta: i64) {
-        let before = self.alive[v];
-        let after = (before as i64 + delta) as u32;
-        self.alive[v] = after;
-        let target = self.targets[v];
-        match (before < target, after < target) {
-            (false, true) => self.deficit_videos += 1,
-            (true, false) => self.deficit_videos -= 1,
-            _ => {}
-        }
-        match (before == 0, after == 0) {
-            (false, true) => self.unavailable_videos += 1,
-            (true, false) => self.unavailable_videos -= 1,
-            _ => {}
-        }
-    }
-
-    /// Server-down hook. Call *after* [`LinkState::fail`]: updates alive
-    /// counts, aborts copies touching the dead server (their partial data
-    /// is discarded, their reservations released, the videos re-queued),
-    /// re-plans destinations, and pumps.
-    pub fn on_failure(
-        &mut self,
-        at: SimTime,
-        server: ServerId,
-        weights: &[u64],
-        links: &mut LinkState,
-        dispatcher: &mut Dispatcher,
-    ) {
-        self.integrate(at.as_min());
-        self.up[server.index()] = false;
-        self.abort_copies_touching(server, links, dispatcher);
-        for v in 0..self.holders.len() {
-            if self.holders[v].contains(&server) {
-                self.bump_alive(v, -1);
-                if self.alive[v] < self.targets[v] {
-                    self.pending.insert(v as u32);
-                }
-            }
-        }
-        self.replan(weights);
-        self.pump(at, links, dispatcher);
-    }
-
-    /// Server-up hook. Call *after* [`LinkState::recover`]: the server's
-    /// stored replicas become servable again, and its fresh link may
-    /// unblock stalled repairs. Videos its return pushes *above* target
-    /// shed their repair-added surplus — in-flight copies are aborted and
-    /// servable extras retired — so spare storage and repair bandwidth
-    /// recycle toward the next failure instead of accreting forever.
-    pub fn on_recovery(
-        &mut self,
-        at: SimTime,
-        server: ServerId,
-        links: &mut LinkState,
-        dispatcher: &mut Dispatcher,
-    ) {
-        self.integrate(at.as_min());
-        self.up[server.index()] = true;
-        for v in 0..self.holders.len() {
-            if self.holders[v].contains(&server) {
-                self.bump_alive(v, 1);
-            }
-        }
-        let mut i = 0;
-        while i < self.copies.len() {
-            let c = self.copies[i];
-            if self.alive[c.video.index()] >= self.targets[c.video.index()] {
-                self.copies.remove(i);
-                links.release_repair(c.src, c.kbps);
-                links.release_repair(c.dst, c.kbps);
-                if c.backbone_kbps > 0 {
-                    dispatcher.release_backbone(c.backbone_kbps);
-                }
-                self.used_bytes[c.dst.index()] -= c.bytes;
-                self.in_flight[c.video.index()] -= 1;
-            } else {
-                i += 1;
-            }
-        }
-        for v in 0..self.holders.len() {
-            self.retire_surplus(v);
-        }
-        self.pump(at, links, dispatcher);
-    }
-
-    /// Retires servable copies of `v` beyond its target. Only repair-added
-    /// copies are eligible — they sit past the original prefix of the
-    /// holder list (the bound layout's replicas), and only those can push
-    /// a video above its planned count. Freed storage becomes available
-    /// to future rebuilds.
-    fn retire_surplus(&mut self, v: usize) {
-        let prefix = self.targets[v] as usize;
-        while self.alive[v] > self.targets[v] {
-            let Some(pos) =
-                (prefix..self.holders[v].len()).find(|&i| self.up[self.holders[v][i].index()])
-            else {
-                break;
-            };
-            let s = self.holders[v].remove(pos);
-            self.used_bytes[s.index()] -= self.video_bytes[v];
-            self.bump_alive(v, -1);
-        }
-    }
-
-    fn abort_copies_touching(
-        &mut self,
-        server: ServerId,
-        links: &mut LinkState,
-        dispatcher: &mut Dispatcher,
-    ) {
-        let mut i = 0;
-        while i < self.copies.len() {
-            let c = self.copies[i];
-            if c.src == server || c.dst == server {
-                self.copies.remove(i);
-                // `release_repair` is a no-op on the endpoint that just
-                // failed (its reservations were cleared by `fail()`).
-                links.release_repair(c.src, c.kbps);
-                links.release_repair(c.dst, c.kbps);
-                if c.backbone_kbps > 0 {
-                    dispatcher.release_backbone(c.backbone_kbps);
-                }
-                self.used_bytes[c.dst.index()] -= c.bytes;
-                self.in_flight[c.video.index()] -= 1;
-                self.pending.insert(c.video.0);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Recomputes planned destinations for replacement copies with the
-    /// incremental-placement policy: previous = the full content map,
-    /// down servers get zero slot capacity (their replicas are re-placed
-    /// on survivors), and per-video weights are the observed demand so
-    /// far (+1 so cold titles still place). On any placement error the
-    /// plan stays empty and the pump falls back to a greedy choice.
-    fn replan(&mut self, weights: &[u64]) {
-        for p in &mut self.planned {
-            p.clear();
-        }
-        if !self.config.enabled() {
-            return;
-        }
-        let m = self.holders.len();
-        let counts: Vec<u32> = (0..m)
-            .map(|v| self.targets[v].max(self.holders[v].len() as u32))
-            .collect();
-        let Ok(scheme) = ReplicationScheme::new(counts) else {
-            return;
-        };
-        let w: Vec<f64> = (0..m)
-            .map(|v| weights.get(v).copied().unwrap_or(0) as f64 + 1.0)
-            .collect();
-        let mut held_slots = vec![0u64; self.n_servers];
-        let mut held_bytes = vec![0u64; self.n_servers];
-        for (v, servers) in self.holders.iter().enumerate() {
-            for &s in servers {
-                held_slots[s.index()] += 1;
-                held_bytes[s.index()] += self.video_bytes[v];
-            }
-        }
-        let uniform = self.video_bytes.windows(2).all(|w| w[0] == w[1]);
-        let max_bytes = self.video_bytes.iter().copied().max().unwrap_or(1).max(1);
-        let capacities: Vec<u64> = (0..self.n_servers)
-            .map(|j| {
-                if !self.up[j] {
-                    // No additions on a dead server; its kept content is
-                    // dropped by the keep phase and re-placed elsewhere.
-                    0
-                } else if uniform {
-                    self.capacity_bytes[j] / max_bytes
-                } else {
-                    held_slots[j] + self.capacity_bytes[j].saturating_sub(held_bytes[j]) / max_bytes
-                }
-            })
-            .collect();
-        let Ok(previous) = Layout::new(self.n_servers, self.holders.clone()) else {
-            return;
-        };
-        let input = PlacementInput {
-            scheme: &scheme,
-            weights: &w,
-            n_servers: self.n_servers,
-            capacities: &capacities,
-        };
-        if let Ok(plan) = IncrementalPlacement::from_previous(previous).place(&input) {
-            for v in 0..m {
-                let vid = VideoId(v as u32);
-                self.planned[v] = plan
-                    .replicas_of(vid)
-                    .iter()
-                    .copied()
-                    .filter(|s| !self.holders[v].contains(s))
-                    .collect();
-            }
-        }
-    }
-
-    /// True when `dst` can receive a new replica of video `v` right now.
-    fn dst_ok(&self, v: usize, dst: ServerId, bw: u64, links: &LinkState) -> bool {
-        let j = dst.index();
-        self.up[j]
-            && links.free_kbps(dst) >= bw
-            && !self.holders[v].contains(&dst)
-            && self
-                .copies
-                .iter()
-                .all(|c| !(c.video.index() == v && c.dst == dst))
-            && self.used_bytes[j] + self.video_bytes[v] <= self.capacity_bytes[j]
-    }
-
-    /// Destination for the next copy of `v`: the incremental plan's pick
-    /// when still valid, else greedily the least-full (by stored bytes)
-    /// eligible server.
-    fn choose_dst(&self, v: usize, bw: u64, links: &LinkState) -> Option<ServerId> {
-        if let Some(&dst) = self.planned[v]
-            .iter()
-            .find(|&&d| self.dst_ok(v, d, bw, links))
-        {
-            return Some(dst);
-        }
-        (0..self.n_servers)
-            .map(|j| ServerId(j as u32))
-            .filter(|&d| self.dst_ok(v, d, bw, links))
-            .min_by_key(|&d| (self.used_bytes[d.index()], d))
-    }
-
-    /// Starts as many pending copies as bandwidth, storage and the
-    /// concurrency cap allow. Deterministic: videos in ascending id
-    /// order, sources by most free link (ties to the lowest id).
-    pub fn pump(&mut self, now: SimTime, links: &mut LinkState, dispatcher: &mut Dispatcher) {
-        if !self.config.enabled() || self.pending.is_empty() {
-            return;
-        }
-        let bw = self.config.bandwidth_kbps;
-        let vids: Vec<u32> = self.pending.iter().copied().collect();
-        for vid in vids {
-            if self.copies.len() >= self.config.max_concurrent {
-                return;
-            }
-            let v = vid as usize;
-            let need = self.targets[v] as i64 - self.alive[v] as i64 - self.in_flight[v] as i64;
-            if need <= 0 {
-                if self.in_flight[v] == 0 {
-                    self.pending.remove(&vid);
-                }
-                continue;
-            }
-            for _ in 0..need {
-                if self.copies.len() >= self.config.max_concurrent {
-                    return;
-                }
-                let src = self.holders[v]
-                    .iter()
-                    .copied()
-                    .filter(|&s| links.is_up(s) && links.free_kbps(s) >= bw)
-                    .max_by_key(|&s| (links.free_kbps(s), std::cmp::Reverse(s)));
-                let Some(src) = src else { break };
-                let Some(dst) = self.choose_dst(v, bw, links) else {
-                    break;
-                };
-                // Under a backbone policy the inter-server copy transits
-                // the backbone; elsewhere it is charged nowhere extra.
-                let Some(backbone_kbps) = dispatcher.try_reserve_repair_backbone(bw) else {
-                    // Backbone saturated: nothing else can start either.
-                    return;
-                };
-                links.reserve_repair(src, bw);
-                links.reserve_repair(dst, bw);
-                self.used_bytes[dst.index()] += self.video_bytes[v];
-                self.in_flight[v] += 1;
-                let dur_ms = (self.video_bytes[v].saturating_mul(8)).div_ceil(bw).max(1);
-                self.copies.push(ActiveCopy {
-                    video: VideoId(vid),
-                    src,
-                    dst,
-                    kbps: bw,
-                    bytes: self.video_bytes[v],
-                    backbone_kbps,
-                    done_at: SimTime(now.ticks() + dur_ms),
-                    seq: self.seq,
-                });
-                self.seq += 1;
-            }
-        }
-    }
-
-    /// The earliest in-flight copy completion, if any.
-    pub fn next_completion(&self) -> Option<SimTime> {
-        self.copies.iter().map(|c| c.done_at).min()
-    }
-
-    /// Completes the earliest due copy: releases its bandwidth, makes the
-    /// replica servable, and updates redundancy accounting. Errors when
-    /// no copy is in flight (the engine only calls this when
-    /// [`Self::next_completion`] reported one).
-    pub fn complete_next(
-        &mut self,
-        links: &mut LinkState,
-        dispatcher: &mut Dispatcher,
-    ) -> Result<(), ModelError> {
-        let idx = self
-            .copies
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| (c.done_at, c.seq))
-            .map(|(i, _)| i)
-            .ok_or(ModelError::Internal {
-                context: "complete_next called with no in-flight copies",
-            })?;
-        let c = self.copies.remove(idx);
-        links.release_repair(c.src, c.kbps);
-        links.release_repair(c.dst, c.kbps);
-        if c.backbone_kbps > 0 {
-            dispatcher.release_backbone(c.backbone_kbps);
-        }
-        self.integrate(c.done_at.as_min());
-        // The reservation made at copy start now backs a real replica.
-        self.holders[c.video.index()].push(c.dst);
-        self.in_flight[c.video.index()] -= 1;
-        self.bump_alive(c.video.index(), 1);
-        self.bytes_copied += c.bytes;
-        self.copies_completed += 1;
-        // A recovery may have raced this copy past its target.
-        self.retire_surplus(c.video.index());
-        self.pump(c.done_at, links, dispatcher);
-        Ok(())
-    }
-
-    /// Brownout hook: while `server` is committed beyond its shrunken
-    /// effective capacity, abort repair copies touching it —
-    /// farthest-from-done first, so the least sunk work is discarded.
-    /// Aborted videos re-queue and re-pump once capacity returns. The
-    /// engine sheds active streams only for the excess that remains.
-    pub fn on_brownout(
-        &mut self,
-        at: SimTime,
-        server: ServerId,
-        links: &mut LinkState,
-        dispatcher: &mut Dispatcher,
-    ) {
-        self.integrate(at.as_min());
-        let j = server.index();
-        while links.used_kbps()[j] + links.repair_kbps()[j] > links.effective_capacity_kbps(server)
-        {
-            let Some(i) = self
-                .copies
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.src == server || c.dst == server)
-                .max_by_key(|(_, c)| (c.done_at, c.seq))
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
-            let c = self.copies.remove(i);
-            links.release_repair(c.src, c.kbps);
-            links.release_repair(c.dst, c.kbps);
-            if c.backbone_kbps > 0 {
-                dispatcher.release_backbone(c.backbone_kbps);
-            }
-            self.used_bytes[c.dst.index()] -= c.bytes;
-            self.in_flight[c.video.index()] -= 1;
-            self.pending.insert(c.video.0);
-        }
-    }
-
-    /// End of run: aborts in-flight copies (releasing every reservation,
-    /// so the engine's zero-residual asserts hold) and closes the metric
-    /// integrals at the horizon.
-    pub fn finish(&mut self, horizon_min: f64, links: &mut LinkState, dispatcher: &mut Dispatcher) {
-        self.integrate(horizon_min.max(self.last_update_min));
-        for c in std::mem::take(&mut self.copies) {
-            links.release_repair(c.src, c.kbps);
-            links.release_repair(c.dst, c.kbps);
-            if c.backbone_kbps > 0 {
-                dispatcher.release_backbone(c.backbone_kbps);
-            }
-            self.used_bytes[c.dst.index()] -= c.bytes;
-            self.in_flight[c.video.index()] -= 1;
-        }
-    }
-
-    /// Bytes of replica data successfully copied.
-    pub fn bytes_copied(&self) -> u64 {
-        self.bytes_copied
-    }
-
-    /// Copies completed (replicas added).
-    pub fn copies_completed(&self) -> u64 {
-        self.copies_completed
-    }
-
-    /// Minutes during which at least one video was below its replication
-    /// target — the time to full redundancy, summed over every deficit
-    /// window of the run. Under popularity-skewed replication this union
-    /// is pinned by the single-replica cold tail (unrepairable while
-    /// their server is down); [`Self::deficit_video_min`] is the
-    /// discriminating integral.
-    pub fn deficit_min(&self) -> f64 {
-        self.deficit_min
-    }
-
-    /// Video·minutes below replication target — the replica-deficit
-    /// integral repair actually drains (each rebuilt copy removes one
-    /// video from the deficit for the remainder of the outage).
-    pub fn deficit_video_min(&self) -> f64 {
-        self.deficit_video_min
-    }
-
-    /// Video·minutes with zero servable replicas.
-    pub fn unavailability_video_min(&self) -> f64 {
-        self.unavailability_video_min
-    }
-
-    /// Test/debug invariant: per-server stored bytes (including in-flight
-    /// reservations) within capacity, and no video with two replicas on
-    /// one server.
-    #[cfg(test)]
-    pub fn check_invariants(&self) {
-        for j in 0..self.n_servers {
-            assert!(
-                self.used_bytes[j] <= self.capacity_bytes[j],
-                "server {j} over storage: {} > {}",
-                self.used_bytes[j],
-                self.capacity_bytes[j]
-            );
-        }
-        for (v, servers) in self.holders.iter().enumerate() {
-            for (i, &s) in servers.iter().enumerate() {
-                assert!(
-                    !servers[..i].contains(&s),
-                    "video {v} has two replicas on server {}",
-                    s.index()
-                );
-            }
-            for c in &self.copies {
-                if c.video.index() == v {
-                    assert!(
-                        !servers.contains(&c.dst),
-                        "in-flight copy of video {v} targets a holder"
-                    );
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use proptest::prelude::*;
-    use vod_model::{BitRate, ServerSpec};
-
-    fn world(
-        n: usize,
-        m: usize,
-        degree: usize,
-        storage_slots: u64,
-    ) -> (Catalog, ClusterSpec, Layout) {
-        let catalog = Catalog::fixed_rate(m, BitRate::MPEG2, 600).unwrap();
-        let bytes = catalog.videos()[0].storage_bytes();
-        let cluster = ClusterSpec::homogeneous(
-            n,
-            ServerSpec {
-                storage_bytes: storage_slots * bytes,
-                bandwidth_kbps: 100_000,
-            },
-        )
-        .unwrap();
-        // Round-robin degree-`degree` layout.
-        let assignments: Vec<Vec<ServerId>> = (0..m)
-            .map(|v| {
-                (0..degree)
-                    .map(|r| ServerId(((v * degree + r) % n) as u32))
-                    .collect()
-            })
-            .collect();
-        let layout = Layout::new(n, assignments).unwrap();
-        (catalog, cluster, layout)
-    }
-
-    fn enabled(bandwidth_kbps: u64) -> RepairConfig {
-        RepairConfig {
-            bandwidth_kbps,
-            max_concurrent: 4,
-        }
-    }
-
-    #[test]
-    fn failure_queues_and_repairs_deficit() {
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(50_000));
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        c.check_invariants();
-        assert!(c.next_completion().is_some(), "copies must start");
-        assert!(links.repair_kbps().iter().any(|&k| k > 0));
-        // Complete every copy; redundancy must be fully restored.
-        while c.next_completion().is_some() {
-            c.complete_next(&mut links, &mut disp).unwrap();
-            c.check_invariants();
-        }
-        for v in 0..8 {
-            assert!(
-                c.alive[v] >= c.targets[v],
-                "video {v}: alive {} < target {}",
-                c.alive[v],
-                c.targets[v]
-            );
-        }
-        assert_eq!(c.deficit_videos, 0);
-        assert!(c.bytes_copied() > 0);
-        assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
-    }
-
-    #[test]
-    fn disabled_repair_never_copies() {
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, RepairConfig::default());
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        assert!(c.next_completion().is_none());
-        assert!(c.deficit_videos > 0);
-        // The deficit integral still accrues without repair.
-        c.finish(90.0, &mut links, &mut disp);
-        assert!(c.deficit_min() > 0.0);
-    }
-
-    #[test]
-    fn no_alive_source_stalls_until_recovery() {
-        // Degree 1: the failed server held the only copy of its videos.
-        let (catalog, cluster, layout) = world(2, 4, 1, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 4);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(50_000));
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(5.0),
-            ServerId(0),
-            &[0; 4],
-            &mut links,
-            &mut disp,
-        );
-        // Videos on s0 have zero alive replicas and no source: no copy.
-        assert!(c.next_completion().is_none());
-        assert!(c.unavailable_videos > 0);
-        links.recover(ServerId(0));
-        c.on_recovery(SimTime::from_min(25.0), ServerId(0), &mut links, &mut disp);
-        assert_eq!(c.unavailable_videos, 0);
-        assert_eq!(c.deficit_videos, 0);
-        c.finish(90.0, &mut links, &mut disp);
-        // 20 minutes, 2 videos were on s0 (m=4 over 2 servers at degree 1).
-        assert!((c.unavailability_video_min() - 40.0).abs() < 1e-6);
-        assert!((c.deficit_min() - 20.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn storage_reservation_blocks_oversubscription() {
-        // Survivor has exactly one free slot: only one of the two lost
-        // replicas can be rebuilt.
-        let catalog = Catalog::fixed_rate(3, BitRate::MPEG2, 600).unwrap();
-        let bytes = catalog.videos()[0].storage_bytes();
-        let cluster = ClusterSpec::homogeneous(
-            2,
-            ServerSpec {
-                storage_bytes: 3 * bytes,
-                bandwidth_kbps: 100_000,
-            },
-        )
-        .unwrap();
-        // s0: v0 v1; s1: v2. s0 dies; s1 has slots for 2 more but assume
-        // capacity 3 slots -> 2 free. Shrink capacity to 2 slots instead:
-        let cluster_tight = ClusterSpec::homogeneous(
-            2,
-            ServerSpec {
-                storage_bytes: 2 * bytes,
-                bandwidth_kbps: 100_000,
-            },
-        )
-        .unwrap();
-        let layout = Layout::new(
-            2,
-            vec![vec![ServerId(0)], vec![ServerId(0)], vec![ServerId(1)]],
-        )
-        .unwrap();
-        let mut links = LinkState::new(&cluster_tight);
-        let mut disp = Dispatcher::new(Default::default(), 3);
-        let mut c = RepairController::new(&catalog, &cluster_tight, &layout, enabled(50_000));
-        let _ = cluster;
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(1.0),
-            ServerId(0),
-            &[0; 3],
-            &mut links,
-            &mut disp,
-        );
-        c.check_invariants();
-        // Both lost videos have no alive source (degree 1) — no copies.
-        assert_eq!(c.copies.len(), 0);
-    }
-
-    #[test]
-    fn recovery_retires_repair_added_surplus() {
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(50_000));
-        let used_before = c.used_bytes.clone();
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        while c.next_completion().is_some() {
-            c.complete_next(&mut links, &mut disp).unwrap();
-        }
-        assert!(c.bytes_copied() > 0);
-        // The rebuilt copies occupy extra storage while s0 is down...
-        assert!(c.used_bytes.iter().sum::<u64>() > used_before.iter().sum::<u64>());
-        links.recover(ServerId(0));
-        c.on_recovery(SimTime::from_min(30.0), ServerId(0), &mut links, &mut disp);
-        c.check_invariants();
-        // ...and are retired on its return: every video back at exactly
-        // its target, all spare storage reclaimed.
-        for v in 0..8 {
-            assert_eq!(c.alive[v], c.targets[v]);
-            assert_eq!(c.holders[v].len(), c.targets[v] as usize);
-        }
-        assert_eq!(c.used_bytes, used_before);
-        assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
-    }
-
-    #[test]
-    fn recovery_aborts_unneeded_in_flight_copies() {
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(50_000));
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        assert!(!c.copies.is_empty());
-        // The server comes back before any copy completes: every copy is
-        // now pointless and must be aborted with its reservations freed.
-        links.recover(ServerId(0));
-        c.on_recovery(SimTime::from_min(10.5), ServerId(0), &mut links, &mut disp);
-        c.check_invariants();
-        assert!(c.copies.is_empty());
-        assert_eq!(c.bytes_copied(), 0);
-        assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
-        assert_eq!(c.in_flight.iter().sum::<u32>(), 0);
-    }
-
-    #[test]
-    fn repair_bandwidth_cap_limits_concurrency() {
-        // Source link 100 Mbps, repair bw 60 Mbps: only one copy can read
-        // from a given survivor at a time.
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(60_000));
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        c.check_invariants();
-        for j in 0..4 {
-            assert!(links.repair_kbps()[j] <= 100_000);
-        }
-        assert!(links.within_capacity());
-    }
-
-    #[test]
-    fn source_failure_aborts_and_requeues() {
-        let (catalog, cluster, layout) = world(4, 8, 2, 8);
-        let mut links = LinkState::new(&cluster);
-        let mut disp = Dispatcher::new(Default::default(), 8);
-        let mut c = RepairController::new(&catalog, &cluster, &layout, enabled(50_000));
-        links.fail(ServerId(0));
-        c.on_failure(
-            SimTime::from_min(10.0),
-            ServerId(0),
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        let in_flight_before: u32 = c.in_flight.iter().sum();
-        assert!(in_flight_before > 0);
-        // Fail one of the copy endpoints.
-        let victim = c.copies[0].src;
-        links.fail(victim);
-        c.on_failure(
-            SimTime::from_min(11.0),
-            victim,
-            &[0; 8],
-            &mut links,
-            &mut disp,
-        );
-        c.check_invariants();
-        assert!(links.within_capacity());
-        // No copy may still touch the dead server.
-        assert!(c.copies.iter().all(|x| x.src != victim && x.dst != victim));
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Eq. (4) (per-server storage, counting in-flight reservations)
-        /// and replica uniqueness survive any interleaving of failures,
-        /// recoveries, and copy completions the controller can see.
-        #[test]
-        fn random_fault_sequences_never_break_storage_or_uniqueness(
-            n in 2usize..=5,
-            m in 4usize..=16,
-            degree in 1usize..=3,
-            spare in 0u64..=4,
-            bw_idx in 0usize..4,
-            // Each event packs (server index, drain-one-copy flag).
-            events in prop::collection::vec(0usize..16, 1..24),
-        ) {
-            let bw = [0u64, 20_000, 50_000, 120_000][bw_idx];
-            let degree = degree.min(n);
-            // Enough slots for the round-robin layout plus `spare` extras.
-            let slots = ((m * degree).div_ceil(n)) as u64 + spare;
-            let (catalog, cluster, layout) = world(n, m, degree, slots);
-            let mut links = LinkState::new(&cluster);
-            let mut disp = Dispatcher::new(Default::default(), m);
-            let mut c = RepairController::new(
-                &catalog,
-                &cluster,
-                &layout,
-                RepairConfig { bandwidth_kbps: bw, max_concurrent: 4 },
-            );
-            let weights = vec![0u64; m];
-            let mut t = 0.0f64;
-            for (step, event) in events.into_iter().enumerate() {
-                let (srv, drain_one) = (event % 8, event / 8 == 1);
-                t += 1.0 + step as f64 * 0.5;
-                let s = ServerId((srv % n) as u32);
-                if links.is_up(s) {
-                    links.fail(s);
-                    c.on_failure(SimTime::from_min(t), s, &weights, &mut links, &mut disp);
-                } else {
-                    links.recover(s);
-                    c.on_recovery(SimTime::from_min(t), s, &mut links, &mut disp);
-                }
-                if drain_one && c.next_completion().is_some() {
-                    c.complete_next(&mut links, &mut disp).unwrap();
-                }
-                c.check_invariants();
-                prop_assert!(links.within_capacity());
-            }
-            c.finish(t + 100.0, &mut links, &mut disp);
-            c.check_invariants();
-            prop_assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
-        }
-    }
 }

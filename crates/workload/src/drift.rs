@@ -13,7 +13,9 @@
 //! the weights (see `Popularity::ranked_from_weights`) and un-permutes
 //! its layout; the trace side samples the weights directly.
 
-use vod_model::{ModelError, Popularity};
+use crate::trace::{Request, Trace, TraceGenerator};
+use rand::Rng;
+use vod_model::{ModelError, Popularity, VideoId};
 
 /// A day-indexed demand sequence, as per-video-id weights summing to 1.
 pub trait DriftModel {
@@ -95,9 +97,212 @@ impl DriftModel for RankRotation {
     }
 }
 
+/// A scheduled demand spike on one title — the "new release" case.
+///
+/// From the start of the drift segment containing `at_min` to the end
+/// of the run, `video`'s weight is pinned to `boost` times the base
+/// distribution's top weight, displacing whatever the rank-swap process
+/// would have given it. Crowds persist: a release that goes hot stays
+/// hot for the remainder of the (90-minute) peak period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Onset, in minutes from the start of the run. Takes effect from
+    /// the start of the segment containing this instant.
+    pub at_min: f64,
+    /// The title that goes hot.
+    pub video: VideoId,
+    /// Weight multiple of the base distribution's top weight (`1.0`
+    /// makes it tie the head title; `3.0` makes it dominate).
+    pub boost: f64,
+}
+
+/// Intra-run popularity drift: a piecewise-stationary workload over the
+/// simulation horizon, for exercising the online replication controller.
+///
+/// The day-granularity models above ([`RankRotation`]) feed the
+/// *between-runs* adaptive replanner; this process drifts *within* one
+/// run. The horizon is cut into segments of `segment_min` minutes; each
+/// segment boundary applies `swaps_per_segment` random adjacent-rank
+/// transpositions to the rank→video permutation (gradual churn — titles
+/// wander up and down the chart rather than teleporting), plus any
+/// scheduled [`FlashCrowd`] onsets. Within a segment the weights are
+/// constant, so each segment's trace is an ordinary Poisson/Zipf draw
+/// via [`TraceGenerator::from_weights`].
+///
+/// Determinism: the swap trajectory is driven by a private splitmix64
+/// stream seeded with `drift_seed` — independent of the `rand` crate's
+/// algorithms and of the arrival RNG, so [`Self::segment_weights`] is a
+/// pure function of (config, seed). The A-7 oracle replans from exactly
+/// these per-segment weights; the controller only ever sees the
+/// arrivals sampled from them.
+#[derive(Debug, Clone)]
+pub struct DriftingWorkload {
+    base: Popularity,
+    horizon_min: f64,
+    segment_min: f64,
+    swaps_per_segment: u32,
+    drift_seed: u64,
+    crowds: Vec<FlashCrowd>,
+}
+
+/// The splitmix64 step: a tiny, stable, dependency-free PRNG. Plenty
+/// for shuffling ranks; never used for arrival sampling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DriftingWorkload {
+    /// A drift process over `base` (video id = rank at segment 0, as
+    /// everywhere else), cut into `segment_min`-minute segments of a
+    /// `horizon_min` run, with `swaps_per_segment` adjacent-rank
+    /// transpositions per boundary driven by `drift_seed`.
+    pub fn new(
+        base: Popularity,
+        horizon_min: f64,
+        segment_min: f64,
+        swaps_per_segment: u32,
+        drift_seed: u64,
+    ) -> Result<Self, ModelError> {
+        if !horizon_min.is_finite() || horizon_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "horizon_min",
+                value: horizon_min,
+            });
+        }
+        if !segment_min.is_finite() || segment_min <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "segment_min",
+                value: segment_min,
+            });
+        }
+        if base.len() < 2 {
+            return Err(ModelError::InvalidParameter {
+                name: "n_videos",
+                value: base.len() as f64,
+            });
+        }
+        Ok(DriftingWorkload {
+            base,
+            horizon_min,
+            segment_min,
+            swaps_per_segment,
+            drift_seed,
+            crowds: Vec::new(),
+        })
+    }
+
+    /// Adds scheduled flash crowds. Each onset must fall inside the
+    /// horizon and name a catalog video with a positive, finite boost.
+    pub fn with_flash_crowds(mut self, crowds: Vec<FlashCrowd>) -> Result<Self, ModelError> {
+        for c in &crowds {
+            if !c.at_min.is_finite() || c.at_min < 0.0 || c.at_min >= self.horizon_min {
+                return Err(ModelError::InvalidParameter {
+                    name: "flash_crowd.at_min",
+                    value: c.at_min,
+                });
+            }
+            if c.video.index() >= self.base.len() {
+                return Err(ModelError::UnknownVideo(c.video));
+            }
+            if !c.boost.is_finite() || c.boost <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "flash_crowd.boost",
+                    value: c.boost,
+                });
+            }
+        }
+        self.crowds = crowds;
+        Ok(self)
+    }
+
+    /// Number of videos.
+    pub fn n_videos(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Number of segments covering the horizon (the last may be short).
+    pub fn n_segments(&self) -> usize {
+        (self.horizon_min / self.segment_min).ceil() as usize
+    }
+
+    /// `(start_min, length_min)` of segment `k`.
+    pub fn segment_span(&self, k: usize) -> (f64, f64) {
+        let start = k as f64 * self.segment_min;
+        (start, (self.horizon_min - start).min(self.segment_min))
+    }
+
+    /// The rank→video permutation in effect during segment `k`,
+    /// replayed from the seed (identity at segment 0).
+    fn permutation(&self, k: usize) -> Vec<usize> {
+        let m = self.base.len();
+        let mut perm: Vec<usize> = (0..m).collect();
+        let mut state = self.drift_seed;
+        for _ in 0..k {
+            for _ in 0..self.swaps_per_segment {
+                let i = (splitmix64(&mut state) % (m as u64 - 1)) as usize;
+                perm.swap(i, i + 1);
+            }
+        }
+        perm
+    }
+
+    /// Per-video-id demand weights in effect during segment `k`: the
+    /// base Zipf masses scattered through the segment's rank
+    /// permutation, then any active flash crowds pinned on top. Without
+    /// crowds the weights sum to 1; a crowd adds unnormalized mass
+    /// (the sampler and the planner both take relative weights).
+    ///
+    /// This is the ground truth the A-7 oracle replans from.
+    pub fn segment_weights(&self, k: usize) -> Vec<f64> {
+        let perm = self.permutation(k);
+        let mut weights = vec![0.0; self.base.len()];
+        for (rank, &v) in perm.iter().enumerate() {
+            weights[v] = self.base.get(rank);
+        }
+        let (start, len) = self.segment_span(k);
+        let top = self.base.get(0);
+        for c in &self.crowds {
+            if c.at_min < start + len {
+                weights[c.video.index()] = top * c.boost;
+            }
+        }
+        weights
+    }
+
+    /// Samples one full-horizon trace: per segment, a Poisson process at
+    /// `lambda_per_min` thinned through that segment's weights, arrival
+    /// times offset to the segment start. `rng` drives arrivals and
+    /// video choice only — the drift trajectory itself is fixed by
+    /// `drift_seed`, so an oracle planner and the simulated workload
+    /// can share it without sharing the arrival stream.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        lambda_per_min: f64,
+        rng: &mut R,
+    ) -> Result<Trace, ModelError> {
+        let mut requests: Vec<Request> = Vec::new();
+        for k in 0..self.n_segments() {
+            let (start, len) = self.segment_span(k);
+            let weights = self.segment_weights(k);
+            let generator = TraceGenerator::from_weights(lambda_per_min, &weights, len)?;
+            requests.extend(generator.generate(rng).requests().iter().map(|r| Request {
+                arrival_min: start + r.arrival_min,
+                video: r.video,
+            }));
+        }
+        Trace::new(requests)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn stationary_never_changes() {
@@ -135,5 +340,133 @@ mod tests {
     fn zero_step_rejected() {
         let base = Popularity::zipf(6, 0.8).unwrap();
         assert!(RankRotation::new(base, 0).is_err());
+    }
+
+    fn drifting(seed: u64) -> DriftingWorkload {
+        let base = Popularity::zipf(16, 1.0).unwrap();
+        DriftingWorkload::new(base, 90.0, 10.0, 8, seed).unwrap()
+    }
+
+    #[test]
+    fn drifting_segments_cover_the_horizon() {
+        let w = drifting(7);
+        assert_eq!(w.n_segments(), 9);
+        assert_eq!(w.segment_span(0), (0.0, 10.0));
+        assert_eq!(w.segment_span(8), (80.0, 10.0));
+        // A horizon that is not a segment multiple ends with a stub.
+        let odd =
+            DriftingWorkload::new(Popularity::zipf(8, 1.0).unwrap(), 25.0, 10.0, 4, 1).unwrap();
+        assert_eq!(odd.n_segments(), 3);
+        assert_eq!(odd.segment_span(2), (20.0, 5.0));
+    }
+
+    #[test]
+    fn drifting_weights_are_permutations_of_the_base() {
+        let w = drifting(42);
+        // Segment 0 is the identity: video id = rank.
+        let base = Popularity::zipf(16, 1.0).unwrap();
+        assert_eq!(w.segment_weights(0), base.p());
+        // Every later segment conserves mass exactly (pure rank swaps).
+        for k in 1..w.n_segments() {
+            let s = w.segment_weights(k);
+            let mut sorted = s.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for (got, want) in sorted.iter().zip(base.p()) {
+                assert!((got - want).abs() < 1e-12);
+            }
+        }
+        // The trajectory actually moves the hot title at this seed.
+        let top0 = w.segment_weights(0);
+        let top8 = w.segment_weights(8);
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_ne!(argmax(&top0), argmax(&top8));
+    }
+
+    #[test]
+    fn drifting_trajectory_is_a_pure_function_of_the_seed() {
+        let a = drifting(1234);
+        let b = drifting(1234);
+        let c = drifting(1235);
+        for k in 0..a.n_segments() {
+            assert_eq!(a.segment_weights(k), b.segment_weights(k));
+        }
+        assert!((1..a.n_segments()).any(|k| a.segment_weights(k) != c.segment_weights(k)));
+    }
+
+    #[test]
+    fn flash_crowd_pins_the_release_on_top() {
+        let crowd = FlashCrowd {
+            at_min: 45.0,
+            video: VideoId(15), // the tail title
+            boost: 3.0,
+        };
+        let w = drifting(9).with_flash_crowds(vec![crowd]).unwrap();
+        // Before onset: the tail title is nowhere near the top.
+        let before = w.segment_weights(3);
+        let base_top = Popularity::zipf(16, 1.0).unwrap().get(0);
+        assert!(before[15] < base_top);
+        // From the onset segment to the end: pinned at boost × top.
+        for k in 4..w.n_segments() {
+            let s = w.segment_weights(k);
+            assert!((s[15] - 3.0 * base_top).abs() < 1e-12);
+            assert!(s.iter().all(|&x| x <= s[15]));
+        }
+    }
+
+    #[test]
+    fn drifting_generation_is_sorted_deterministic_and_skewed() {
+        let crowd = FlashCrowd {
+            at_min: 45.0,
+            video: VideoId(15),
+            boost: 3.0,
+        };
+        let w = drifting(9).with_flash_crowds(vec![crowd]).unwrap();
+        let t1 = w.generate(4.0, &mut ChaCha8Rng::seed_from_u64(77)).unwrap();
+        let t2 = w.generate(4.0, &mut ChaCha8Rng::seed_from_u64(77)).unwrap();
+        assert_eq!(t1.requests(), t2.requests());
+        assert!(!t1.is_empty());
+        assert!(t1
+            .requests()
+            .iter()
+            .all(|r| (0.0..90.0).contains(&r.arrival_min)));
+        // After onset the release dominates its pre-onset demand.
+        let hits = |lo: f64, hi: f64| {
+            t1.requests()
+                .iter()
+                .filter(|r| r.video == VideoId(15) && (lo..hi).contains(&r.arrival_min))
+                .count()
+        };
+        assert!(hits(45.0, 90.0) > hits(0.0, 45.0));
+    }
+
+    #[test]
+    fn drifting_rejects_degenerate_parameters() {
+        let base = || Popularity::zipf(8, 1.0).unwrap();
+        assert!(DriftingWorkload::new(base(), 0.0, 10.0, 4, 1).is_err());
+        assert!(DriftingWorkload::new(base(), 90.0, 0.0, 4, 1).is_err());
+        assert!(
+            DriftingWorkload::new(Popularity::zipf(1, 1.0).unwrap(), 90.0, 10.0, 4, 1).is_err()
+        );
+        let crowd = |at_min, video, boost| FlashCrowd {
+            at_min,
+            video,
+            boost,
+        };
+        let w = || DriftingWorkload::new(base(), 90.0, 10.0, 4, 1).unwrap();
+        assert!(w()
+            .with_flash_crowds(vec![crowd(95.0, VideoId(0), 2.0)])
+            .is_err());
+        assert!(w()
+            .with_flash_crowds(vec![crowd(10.0, VideoId(99), 2.0)])
+            .is_err());
+        assert!(w()
+            .with_flash_crowds(vec![crowd(10.0, VideoId(0), 0.0)])
+            .is_err());
     }
 }
