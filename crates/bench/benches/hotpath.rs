@@ -8,7 +8,7 @@ use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ServerId, ServerSpec, VideoId};
 use vod_sim::dispatch::{AdmissionPolicy, Dispatcher};
-use vod_sim::event::{Departure, DepartureQueue};
+use vod_sim::event::{Departure, DepartureQueue, NO_STREAM};
 use vod_sim::server::LinkState;
 use vod_sim::time::SimTime;
 use vod_workload::ZipfSampler;
@@ -23,6 +23,7 @@ fn dep(rng: &mut ChaCha8Rng) -> Departure {
         kbps: 4_000,
         backbone_kbps: 0,
         epoch: 0,
+        stream: NO_STREAM,
     }
 }
 

@@ -23,6 +23,7 @@
 //!   striping  striping-vs-replication architectural comparison (A-5)
 //!   overload  admission queueing, retries and brownouts under overload (A-6)
 //!   controller  online replication controller under intra-run drift (A-7)
+//!   coding    erasure-coded redundancy vs replication under faults (A-8)
 //!   perf-smoke  pinned-size throughput measurements (N = 8, M = 200,
 //!               fixed seed): simulator events/sec and annealer SA
 //!               steps/sec; prints one machine-readable PERF_SMOKE line
@@ -34,6 +35,10 @@
 //!   --check FILE    perf-smoke only: fail if events/sec, SA steps/sec or
 //!                   parallel events/sec drops more than 30% below the
 //!                   baseline in FILE
+//!   --scheme S      coding only: narrow the sweep to one redundancy
+//!                   scheme — `repR` (e.g. rep3) for R full replicas, or
+//!                   `rs` with `--k K --m M` for a Reed-Solomon stripe
+//!                   of K data + M parity fragments
 //! ```
 
 use rand::SeedableRng;
@@ -45,12 +50,12 @@ use vod_experiments::report::Reporter;
 use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo};
 use vod_experiments::PaperSetup;
 use vod_experiments::{
-    ablation, availability, bound, controller, drift, fig1, fig2, fig3, fig4, fig5, fig6, overload,
-    quality, recovery, sa, sa_multirate, striping,
+    ablation, availability, bound, coding, controller, drift, fig1, fig2, fig3, fig4, fig5, fig6,
+    overload, quality, recovery, sa, sa_multirate, striping,
 };
 use vod_model::{
-    BitRate, Catalog, ClusterSpec, Layout, ObjectiveWeights, Popularity, ServerId, ServerSpec,
-    VideoId,
+    BitRate, Catalog, ClusterSpec, Layout, ObjectiveWeights, Popularity, RedundancyScheme,
+    ServerId, ServerSpec, VideoId,
 };
 use vod_sim::{AdmissionPolicy, SimConfig, Simulation};
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
@@ -66,6 +71,7 @@ struct Args {
     no_files: bool,
     metrics: Option<String>,
     check: Option<String>,
+    scheme: Option<RedundancyScheme>,
 }
 
 /// Largest sensible `--shards`: the engine merges per-shard results, so
@@ -91,7 +97,11 @@ fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
         no_files: false,
         metrics: None,
         check: None,
+        scheme: None,
     };
+    let mut scheme_flag: Option<String> = None;
+    let mut k_flag: Option<u32> = None;
+    let mut m_flag: Option<u32> = None;
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--fast" => args.fast = true,
@@ -152,6 +162,26 @@ fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 args.check = Some(v);
             }
+            "--scheme" => {
+                let v = iter
+                    .next()
+                    .ok_or("--scheme needs a value: repR (e.g. rep2) or rs")?;
+                scheme_flag = Some(v);
+            }
+            "--k" => {
+                let v = iter.next().ok_or("--k needs a value")?;
+                let k: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --k value `{v}`: expected a non-negative integer"))?;
+                k_flag = Some(k);
+            }
+            "--m" => {
+                let v = iter.next().ok_or("--m needs a value")?;
+                let m: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --m value `{v}`: expected a non-negative integer"))?;
+                m_flag = Some(m);
+            }
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
             }
@@ -168,7 +198,94 @@ fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
             args.command
         ));
     }
+    args.scheme = resolve_scheme(&args.command, scheme_flag, k_flag, m_flag)?;
     Ok(args)
+}
+
+/// Validates the `--scheme`/`--k`/`--m` trio into one redundancy scheme
+/// (coding command only). Degenerate parameters get actionable errors
+/// here, before any simulation is built.
+fn resolve_scheme(
+    command: &str,
+    scheme: Option<String>,
+    k: Option<u32>,
+    m: Option<u32>,
+) -> Result<Option<RedundancyScheme>, String> {
+    // The paper cluster every experiment runs on (--scheme cannot
+    // resize it, so holder counts beyond it can never place).
+    const N_SERVERS: u32 = 8;
+    let Some(scheme) = scheme else {
+        if k.is_some() || m.is_some() {
+            return Err(
+                "--k/--m only apply together with --scheme rs; pass --scheme rs --k K --m M".into(),
+            );
+        }
+        return Ok(None);
+    };
+    if command != "coding" {
+        return Err(format!(
+            "--scheme only applies to the coding experiment (got command `{command}`); \
+             it narrows the A-8 redundancy sweep to one scheme"
+        ));
+    }
+    if let Some(r) = scheme.strip_prefix("rep") {
+        if k.is_some() || m.is_some() {
+            return Err("--k/--m only apply to --scheme rs; a repR scheme is fully \
+                        specified by its replica count"
+                .into());
+        }
+        let r: u32 = r.parse().map_err(|_| {
+            format!("bad --scheme value `{scheme}`: expected repR with an integer R (e.g. rep2)")
+        })?;
+        if r == 0 {
+            return Err(
+                "--scheme rep0 keeps zero copies — nothing could ever be served; \
+                        pass a replica count of at least 1"
+                    .into(),
+            );
+        }
+        if r > N_SERVERS {
+            return Err(format!(
+                "--scheme rep{r} needs {r} distinct servers but the paper cluster has \
+                 {N_SERVERS}; replicas of one video must land on different servers"
+            ));
+        }
+        return Ok(Some(RedundancyScheme::Replicated { r }));
+    }
+    if scheme == "rs" {
+        let (Some(k), Some(m)) = (k, m) else {
+            return Err(
+                "--scheme rs needs both --k (data fragments) and --m (parity fragments), \
+                 e.g. --scheme rs --k 2 --m 1"
+                    .into(),
+            );
+        };
+        if k == 0 {
+            return Err(
+                "--k 0 leaves a stripe with no data fragments — nothing could \
+                        ever be reconstructed; pass k >= 1"
+                    .into(),
+            );
+        }
+        if m == 0 {
+            return Err(
+                "--m 0 provides no redundancy: fragments without parity are \
+                        strictly worse than a single replica; pass m >= 1"
+                    .into(),
+            );
+        }
+        if k + m > N_SERVERS {
+            return Err(format!(
+                "--k {k} --m {m} needs k+m = {} distinct servers but the paper cluster \
+                 has {N_SERVERS}; shrink the stripe or its parity",
+                k + m
+            ));
+        }
+        return Ok(Some(RedundancyScheme::Coded { k, m }));
+    }
+    Err(format!(
+        "unknown --scheme `{scheme}`: expected repR (e.g. rep2) or rs (with --k/--m)"
+    ))
 }
 
 type ExpFn = fn(&PaperSetup, &Reporter) -> Result<(), Box<dyn std::error::Error>>;
@@ -194,6 +311,7 @@ const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
     ("striping", 0xA4, striping::run),
     ("overload", 0x0AD6, overload::run),
     ("controller", 0xC0A7, controller::run),
+    ("coding", 0xC0DE, coding::run),
 ];
 
 /// Builds the manifest record for one finished experiment: pinned
@@ -503,8 +621,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|perf-smoke> \
-                 [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE]"
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|coding|perf-smoke> \
+                 [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE] \
+                 [--scheme repR|rs [--k K --m M]]"
             );
             return ExitCode::FAILURE;
         }
@@ -539,6 +658,29 @@ fn main() -> ExitCode {
     let result: Result<(), Box<dyn std::error::Error>> = (|| {
         if args.command == "perf-smoke" {
             return perf_smoke(args.metrics.as_deref(), args.check.as_deref());
+        }
+        if let Some(scheme) = args.scheme {
+            // --scheme narrows the A-8 sweep to one explicit scheme
+            // (parse_from guarantees the command is `coding`).
+            let mut writer = match &args.metrics {
+                Some(path) => Some(ManifestWriter::append_to(path)?),
+                None => None,
+            };
+            let telemetry = if writer.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
+            let reporter = base_reporter.clone().with_telemetry(telemetry.clone());
+            let exp_started = Instant::now();
+            coding::run_scheme(&setup, &reporter, scheme)?;
+            let wall_secs = exp_started.elapsed().as_secs_f64();
+            if let Some(writer) = &mut writer {
+                writer.write(&manifest_record(
+                    "coding", 0xC0DE, &setup, &telemetry, wall_secs,
+                ))?;
+            }
+            return Ok(());
         }
         let selected: Vec<&(&str, u64, ExpFn)> = if args.command == "all" {
             EXPERIMENTS.iter().collect()
@@ -675,6 +817,52 @@ mod tests {
         let e = parse(&["fig4", "--check", "base.json"]).unwrap_err();
         assert!(e.contains("perf-smoke") && e.contains("fig4"), "{e}");
         assert!(parse(&["perf-smoke", "--check", "base.json"]).is_ok());
+    }
+
+    #[test]
+    fn scheme_flags_parse_into_redundancy_schemes() {
+        let a = parse(&["coding", "--scheme", "rep3"]).unwrap();
+        assert_eq!(a.scheme, Some(RedundancyScheme::Replicated { r: 3 }));
+        let a = parse(&["coding", "--scheme", "rs", "--k", "2", "--m", "1"]).unwrap();
+        assert_eq!(a.scheme, Some(RedundancyScheme::Coded { k: 2, m: 1 }));
+        // No flags: the full sweep.
+        assert_eq!(parse(&["coding"]).unwrap().scheme, None);
+    }
+
+    #[test]
+    fn degenerate_scheme_parameters_get_actionable_errors() {
+        let e = parse(&["coding", "--scheme", "rs", "--k", "2", "--m", "0"]).unwrap_err();
+        assert!(e.contains("no redundancy") && e.contains("m >= 1"), "{e}");
+        let e = parse(&["coding", "--scheme", "rs", "--k", "0", "--m", "1"]).unwrap_err();
+        assert!(
+            e.contains("no data fragments") && e.contains("k >= 1"),
+            "{e}"
+        );
+        let e = parse(&["coding", "--scheme", "rs", "--k", "6", "--m", "3"]).unwrap_err();
+        assert!(e.contains("k+m = 9") && e.contains("8"), "{e}");
+        let e = parse(&["coding", "--scheme", "rep0"]).unwrap_err();
+        assert!(e.contains("zero copies"), "{e}");
+        let e = parse(&["coding", "--scheme", "rep9"]).unwrap_err();
+        assert!(e.contains("distinct servers"), "{e}");
+        let e = parse(&["coding", "--scheme", "raid6"]).unwrap_err();
+        assert!(e.contains("raid6") && e.contains("repR"), "{e}");
+        let e = parse(&["coding", "--k", "two", "--scheme", "rs", "--m", "1"]).unwrap_err();
+        assert!(e.contains("--k") && e.contains("two"), "{e}");
+    }
+
+    #[test]
+    fn scheme_flags_demand_consistent_usage() {
+        // --scheme is a coding-only knob.
+        let e = parse(&["fig4", "--scheme", "rep2"]).unwrap_err();
+        assert!(e.contains("coding") && e.contains("fig4"), "{e}");
+        // --k/--m without --scheme rs are orphans.
+        let e = parse(&["coding", "--k", "2"]).unwrap_err();
+        assert!(e.contains("--scheme rs"), "{e}");
+        let e = parse(&["coding", "--scheme", "rep2", "--m", "1"]).unwrap_err();
+        assert!(e.contains("replica count"), "{e}");
+        // rs without both fragment counts is underspecified.
+        let e = parse(&["coding", "--scheme", "rs", "--k", "2"]).unwrap_err();
+        assert!(e.contains("--m"), "{e}");
     }
 
     #[test]

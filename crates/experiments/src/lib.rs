@@ -24,6 +24,7 @@
 //! | striping | [`striping`] | striping-vs-replication architectural comparison (A-5) |
 //! | overload | [`overload`] | admission queueing, retries and brownouts under overload (A-6) |
 //! | controller | [`controller`] | online replication controller under intra-run drift (A-7) |
+//! | coding | [`coding`] | erasure-coded redundancy vs replication under faults (A-8) |
 //!
 //! All simulation experiments average over seeded runs fanned out across
 //! OS threads ([`runner`]); outputs go to stdout as aligned tables and to
@@ -35,6 +36,7 @@
 pub mod ablation;
 pub mod availability;
 pub mod bound;
+pub mod coding;
 pub mod config;
 pub mod controller;
 pub mod drift;

@@ -7,6 +7,7 @@
 
 use crate::error::ModelError;
 use crate::ids::{ServerId, VideoId};
+use crate::redundancy::{RedundancyMap, RedundancyScheme};
 use crate::server::ClusterSpec;
 use crate::video::Catalog;
 use serde::{Deserialize, Serialize};
@@ -15,11 +16,18 @@ use serde::{Deserialize, Serialize};
 ///
 /// `assignments[v]` lists the servers holding a replica of video `v`; the
 /// order of that list is the static round-robin dispatch order the
-/// simulator follows.
+/// simulator follows. Under a coded [`RedundancyMap`] entry the list is
+/// the video's *fragment holders* in fragment order (positions `0..k`
+/// hold data fragments, the rest parity), and its length must be `k+m`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Layout {
     n_servers: usize,
     assignments: Vec<Vec<ServerId>>,
+    /// Per-video redundancy schemes. `None` (the wire default — old
+    /// serialized layouts carry no field) means all-replicated with the
+    /// counts implied by the assignment lengths.
+    #[serde(default)]
+    redundancy: Option<RedundancyMap>,
 }
 
 impl Layout {
@@ -31,8 +39,38 @@ impl Layout {
         let layout = Layout {
             n_servers,
             assignments,
+            redundancy: None,
         };
         layout.validate_structure()?;
+        Ok(layout)
+    }
+
+    /// A layout with an explicit per-video redundancy map. Coded videos
+    /// must list exactly `k + m` holders; the distinct-server constraint
+    /// (6) doubles as fragment/server anti-affinity.
+    pub fn with_redundancy(
+        n_servers: usize,
+        assignments: Vec<Vec<ServerId>>,
+        redundancy: RedundancyMap,
+    ) -> Result<Self, ModelError> {
+        let mut layout = Layout::new(n_servers, assignments)?;
+        if redundancy.len() != layout.assignments.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: layout.assignments.len(),
+                actual: redundancy.len(),
+            });
+        }
+        redundancy.validate(n_servers)?;
+        for (v, servers) in layout.assignments.iter().enumerate() {
+            let scheme = redundancy.get(VideoId(v as u32));
+            if scheme.holders() as usize != servers.len() {
+                return Err(ModelError::LengthMismatch {
+                    expected: scheme.holders() as usize,
+                    actual: servers.len(),
+                });
+            }
+        }
+        layout.redundancy = Some(redundancy);
         Ok(layout)
     }
 
@@ -89,6 +127,30 @@ impl Layout {
     #[inline]
     pub fn replica_count(&self, v: VideoId) -> u32 {
         self.assignments[v.index()].len() as u32
+    }
+
+    /// The per-video redundancy map, when one was attached.
+    #[inline]
+    pub fn redundancy(&self) -> Option<&RedundancyMap> {
+        self.redundancy.as_ref()
+    }
+
+    /// The redundancy scheme of one video (`Replicated` with the
+    /// assignment length when no map is attached).
+    #[inline]
+    pub fn scheme_of(&self, v: VideoId) -> RedundancyScheme {
+        match &self.redundancy {
+            Some(map) => map.get(v),
+            None => RedundancyScheme::Replicated {
+                r: self.assignments[v.index()].len() as u32,
+            },
+        }
+    }
+
+    /// Whether any video is erasure-coded (false for all-replicated
+    /// maps, which are equivalent to no map at all).
+    pub fn any_coded(&self) -> bool {
+        self.redundancy.as_ref().is_some_and(|m| m.any_coded())
     }
 
     /// Inverts the mapping: which videos does each server hold?
@@ -153,7 +215,10 @@ impl Layout {
         }
         let mut used = vec![0u64; self.n_servers];
         for (v, servers) in self.assignments.iter().enumerate() {
-            let bytes = catalog.videos()[v].storage_bytes();
+            // A coded holder stores one ⌈size/k⌉ fragment, not a copy.
+            let bytes = self
+                .scheme_of(VideoId(v as u32))
+                .stored_bytes(catalog.videos()[v].storage_bytes());
             for &s in servers {
                 used[s.index()] += bytes;
             }
@@ -330,6 +395,77 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn coded_layout_counts_and_storage() {
+        use crate::redundancy::{RedundancyMap, RedundancyScheme};
+        // v0 coded (k=2, m=1) on 3 servers, v1 replicated once.
+        let map = RedundancyMap::new(vec![
+            RedundancyScheme::Coded { k: 2, m: 1 },
+            RedundancyScheme::Replicated { r: 1 },
+        ])
+        .unwrap();
+        let l = Layout::with_redundancy(
+            3,
+            vec![vec![sid(0), sid(1), sid(2)], vec![sid(0)]],
+            map.clone(),
+        )
+        .unwrap();
+        assert!(l.any_coded());
+        assert_eq!(
+            l.scheme_of(VideoId(0)),
+            RedundancyScheme::Coded { k: 2, m: 1 }
+        );
+        assert_eq!(l.redundancy().unwrap(), &map);
+
+        // Holder-count mismatch: coded k+m=3 but only 2 servers listed.
+        let err = Layout::with_redundancy(3, vec![vec![sid(0), sid(1)], vec![sid(0)]], map.clone())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::LengthMismatch {
+                expected: 3,
+                actual: 2
+            }
+        ));
+
+        // Storage charges fragments, not copies: 1_000_000-byte videos,
+        // fragment = 500_000. s0 holds one fragment + one full copy.
+        let catalog = Catalog::fixed_rate(2, BitRate::from_kbps(8), 1_000).unwrap();
+        let tight = ClusterSpec::homogeneous(
+            3,
+            ServerSpec {
+                storage_bytes: 1_500_000,
+                bandwidth_kbps: 1,
+            },
+        )
+        .unwrap();
+        let l = Layout::with_redundancy(3, vec![vec![sid(0), sid(1), sid(2)], vec![sid(0)]], map)
+            .unwrap();
+        assert!(l.validate_storage(&catalog, &tight).is_ok());
+        // Without the map the same shape would need 2 MB on s0.
+        let plain = Layout::new(3, vec![vec![sid(0), sid(1), sid(2)], vec![sid(0)]]).unwrap();
+        assert!(plain.validate_storage(&catalog, &tight).is_err());
+    }
+
+    #[test]
+    fn plain_layouts_report_replicated_schemes() {
+        let l = small_layout();
+        assert!(!l.any_coded());
+        assert!(l.redundancy().is_none());
+        assert_eq!(
+            l.scheme_of(VideoId(0)),
+            crate::redundancy::RedundancyScheme::Replicated { r: 2 }
+        );
+    }
+
+    #[test]
+    fn legacy_layout_json_deserializes_without_redundancy_field() {
+        let json = r#"{"n_servers":2,"assignments":[[0,1],[0]]}"#;
+        let l: Layout = serde_json::from_str(json).unwrap();
+        assert!(l.redundancy().is_none());
+        assert_eq!(l.n_videos(), 2);
     }
 
     #[test]

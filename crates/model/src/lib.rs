@@ -15,6 +15,8 @@
 //! * [`popularity`] — Zipf-like relative popularity distributions;
 //! * [`replication`] — replication schemes `r = (r_1 … r_M)` and the
 //!   *communication weight* `w_i = p_i λT / r_i` of each replica;
+//! * [`redundancy`] — per-video redundancy schemes: full replication or
+//!   Reed-Solomon `(k, m)` erasure-coded stripes;
 //! * [`layout`] — concrete placements of replicas onto servers, with
 //!   validation of the paper's constraints (4)–(7);
 //! * [`load`] — the load-imbalance degree `L`, in both of the paper's
@@ -36,6 +38,7 @@ pub mod layout;
 pub mod load;
 pub mod objective;
 pub mod popularity;
+pub mod redundancy;
 pub mod replication;
 pub mod server;
 pub mod summary;
@@ -48,6 +51,7 @@ pub use layout::Layout;
 pub use load::{imbalance, ImbalanceMetric};
 pub use objective::ObjectiveWeights;
 pub use popularity::Popularity;
+pub use redundancy::{RedundancyMap, RedundancyScheme};
 pub use replication::ReplicationScheme;
 pub use server::{ClusterSpec, ServerSpec};
 pub use video::{Catalog, Video};

@@ -49,11 +49,13 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod coded;
 pub mod incremental;
 pub mod round_robin;
 pub mod slf;
 pub mod traits;
 
+pub use coded::place_coded;
 pub use incremental::IncrementalPlacement;
 pub use round_robin::RoundRobinPlacement;
 pub use slf::SmallestLoadFirstPlacement;

@@ -54,8 +54,8 @@ pub(crate) enum CopyPurpose {
     Rebalance,
 }
 
-/// One in-flight replica copy.
-#[derive(Debug, Clone, Copy)]
+/// One in-flight replica copy (or coded-fragment reconstruction).
+#[derive(Debug, Clone)]
 struct ActiveCopy {
     video: VideoId,
     src: ServerId,
@@ -68,6 +68,11 @@ struct ActiveCopy {
     done_at: SimTime,
     seq: u64,
     purpose: CopyPurpose,
+    /// Additional read sources of a coded reconstruction: rebuilding one
+    /// fragment reads `k` surviving fragments, so `k - 1` extra sources
+    /// each hold a `kbps` repair reservation for the copy's duration —
+    /// the k× repair-read amplification. Empty for replicated copies.
+    extra_srcs: Vec<ServerId>,
 }
 
 /// Run-time replica tracker, transfer scheduler and retirement engine.
@@ -96,8 +101,18 @@ pub(crate) struct ReplicaActuator {
     up: Vec<bool>,
     /// Number of currently-down servers.
     down_count: u32,
-    /// Servable replicas on up servers, per video.
+    /// Servable replicas (or fragments) on up servers, per video.
     alive: Vec<u32>,
+    /// Live holders needed to serve each video: 1 for replicated, `k`
+    /// for a coded stripe (also the fan-in of a reconstruction).
+    min_live: Vec<u32>,
+    /// Whether any video is coded (false keeps every hot path on the
+    /// exact replicated code, preserving byte-identical reports).
+    any_coded: bool,
+    /// Rack of each server (`u32::MAX` = unracked; empty = no rack
+    /// model). Coded repair destinations respect the per-rack fragment
+    /// bound `⌈(k+m) / n_racks⌉`.
+    rack_of: Vec<u32>,
     /// In-flight copies per video.
     in_flight: Vec<u32>,
     /// Videos that may need a copy (lazily re-checked at pump time).
@@ -114,6 +129,16 @@ pub(crate) struct ReplicaActuator {
     drift_copies_completed: u64,
     deficit_videos: u32,
     unavailable_videos: u32,
+    /// Fractional per-video deficit weights: a replicated video below
+    /// target weighs 1, a coded video with `j` of its `m` parity margin
+    /// lost weighs `j / m` (clamped to 1). `deficit_weight` is their sum
+    /// — the integrand of `deficit_video_min`. For all-replicated runs
+    /// every weight is exactly 0.0 or 1.0, so the f64 sum equals the
+    /// old `deficit_videos as f64` bit for bit.
+    weight: Vec<f64>,
+    deficit_weight: f64,
+    coded_reconstructions: u64,
+    coded_bytes_read: u64,
     last_update_min: f64,
     deficit_min: f64,
     deficit_video_min: f64,
@@ -130,7 +155,22 @@ impl ReplicaActuator {
         let n = cluster.len();
         let m = layout.n_videos();
         let holders: Vec<Vec<ServerId>> = layout.assignments().to_vec();
-        let video_bytes: Vec<u64> = catalog.videos().iter().map(|v| v.storage_bytes()).collect();
+        // Coded videos store one fragment (`⌈bytes / k⌉`) per holder, not
+        // a full replica — every storage computation below inherits this.
+        let video_bytes: Vec<u64> = catalog
+            .videos()
+            .iter()
+            .enumerate()
+            .map(|(v, vid)| {
+                layout
+                    .scheme_of(VideoId(v as u32))
+                    .stored_bytes(vid.storage_bytes())
+            })
+            .collect();
+        let min_live: Vec<u32> = (0..m)
+            .map(|v| layout.scheme_of(VideoId(v as u32)).min_live())
+            .collect();
+        let any_coded = layout.any_coded();
         let mut used_bytes = vec![0u64; n];
         for (v, servers) in holders.iter().enumerate() {
             for &s in servers {
@@ -144,6 +184,9 @@ impl ReplicaActuator {
             alive: holders.iter().map(|h| h.len() as u32).collect(),
             holders,
             video_bytes,
+            min_live,
+            any_coded,
+            rack_of: Vec::new(),
             used_bytes,
             capacity_bytes: cluster.servers().iter().map(|s| s.storage_bytes).collect(),
             up: vec![true; n],
@@ -159,6 +202,10 @@ impl ReplicaActuator {
             drift_copies_completed: 0,
             deficit_videos: 0,
             unavailable_videos: 0,
+            weight: vec![0.0; m],
+            deficit_weight: 0.0,
+            coded_reconstructions: 0,
+            coded_bytes_read: 0,
             last_update_min: 0.0,
             deficit_min: 0.0,
             deficit_video_min: 0.0,
@@ -171,6 +218,30 @@ impl ReplicaActuator {
     #[inline]
     pub fn holders(&self, video: VideoId) -> &[ServerId] {
         &self.holders[video.index()]
+    }
+
+    /// The whole live content map, indexed by video (dispatch order per
+    /// entry) — what the placement auditor checks anti-affinity against.
+    pub fn holders_all(&self) -> &[Vec<ServerId>] {
+        &self.holders
+    }
+
+    /// Installs the rack map coded repair destinations are bounded by:
+    /// `rack_of[j]` is server `j`'s rack, `u32::MAX` marks an unracked
+    /// server. An empty map (the default) disables the rack bound.
+    pub fn set_rack_map(&mut self, rack_of: Vec<u32>) {
+        self.rack_of = rack_of;
+    }
+
+    /// Coded fragment reconstructions completed.
+    pub fn coded_reconstructions(&self) -> u64 {
+        self.coded_reconstructions
+    }
+
+    /// Bytes read from surviving fragments by completed reconstructions —
+    /// `k ×` the fragment bytes written, the repair-read amplification.
+    pub fn coded_bytes_read(&self) -> u64 {
+        self.coded_bytes_read
     }
 
     /// Number of servers in the bound cluster.
@@ -229,9 +300,30 @@ impl ReplicaActuator {
         if self.deficit_videos > 0 {
             self.deficit_min += dt;
         }
-        self.deficit_video_min += dt * self.deficit_videos as f64;
+        self.deficit_video_min += dt * self.deficit_weight;
         self.unavailability_video_min += dt * self.unavailable_videos as f64;
         self.last_update_min = now_min;
+    }
+
+    /// Recomputes video `v`'s fractional deficit weight after an alive-
+    /// or target-count change. A replicated video weighs exactly 0.0 or
+    /// 1.0 (so all-replicated runs integrate the same f64 sequence as
+    /// the pre-coded integer counter); a coded video that lost `j` of
+    /// its `m = target - k` parity fragments weighs `j / m`, clamping to
+    /// 1 once losses dip into data fragments.
+    fn refresh_weight(&mut self, v: usize) {
+        let (target, alive, min_live) = (self.targets[v], self.alive[v], self.min_live[v]);
+        let w = if min_live > 1 {
+            let margin = target.saturating_sub(min_live).max(1);
+            let lost = target.saturating_sub(alive);
+            (lost as f64 / margin as f64).min(1.0)
+        } else if alive < target {
+            1.0
+        } else {
+            0.0
+        };
+        self.deficit_weight += w - self.weight[v];
+        self.weight[v] = w;
     }
 
     /// Applies an alive-count delta, maintaining the deficit and
@@ -246,11 +338,15 @@ impl ReplicaActuator {
             (true, false) => self.deficit_videos -= 1,
             _ => {}
         }
-        match (before == 0, after == 0) {
+        // A coded video is unavailable below `k` live fragments; a
+        // replicated one below its single-copy floor (the old `== 0`).
+        let min_live = self.min_live[v];
+        match (before < min_live, after < min_live) {
             (false, true) => self.unavailable_videos += 1,
             (true, false) => self.unavailable_videos -= 1,
             _ => {}
         }
+        self.refresh_weight(v);
     }
 
     /// Moves video `v`'s replication target to `target`, keeping the
@@ -270,6 +366,7 @@ impl ReplicaActuator {
             _ => {}
         }
         self.targets[v] = target;
+        self.refresh_weight(v);
     }
 
     /// Marks video `v` as possibly needing copies; the next
@@ -333,16 +430,12 @@ impl ReplicaActuator {
         }
         let mut i = 0;
         while i < self.copies.len() {
-            let c = self.copies[i];
-            if self.alive[c.video.index()] >= self.targets[c.video.index()] {
-                self.copies.remove(i);
-                links.release_repair(c.src, c.kbps);
-                links.release_repair(c.dst, c.kbps);
-                if c.backbone_kbps > 0 {
-                    dispatcher.release_backbone(c.backbone_kbps);
-                }
+            let v = self.copies[i].video.index();
+            if self.alive[v] >= self.targets[v] {
+                let c = self.copies.remove(i);
+                Self::release_copy(&c, links, dispatcher);
                 self.used_bytes[c.dst.index()] -= c.bytes;
-                self.in_flight[c.video.index()] -= 1;
+                self.in_flight[v] -= 1;
             } else {
                 i += 1;
             }
@@ -384,6 +477,21 @@ impl ReplicaActuator {
         self.retire_surplus(v)
     }
 
+    /// Releases every reservation an aborted or completed copy holds:
+    /// repair bandwidth on the source, the destination, and — for a
+    /// coded reconstruction — each extra read source, plus any backbone
+    /// charge.
+    fn release_copy(c: &ActiveCopy, links: &mut LinkState, dispatcher: &mut Dispatcher) {
+        links.release_repair(c.src, c.kbps);
+        for &s in &c.extra_srcs {
+            links.release_repair(s, c.kbps);
+        }
+        links.release_repair(c.dst, c.kbps);
+        if c.backbone_kbps > 0 {
+            dispatcher.release_backbone(c.backbone_kbps);
+        }
+    }
+
     fn abort_copies_touching(
         &mut self,
         server: ServerId,
@@ -392,16 +500,15 @@ impl ReplicaActuator {
     ) {
         let mut i = 0;
         while i < self.copies.len() {
-            let c = self.copies[i];
-            if c.src == server || c.dst == server {
-                self.copies.remove(i);
+            let touches = {
+                let c = &self.copies[i];
+                c.src == server || c.dst == server || c.extra_srcs.contains(&server)
+            };
+            if touches {
+                let c = self.copies.remove(i);
                 // `release_repair` is a no-op on the endpoint that just
                 // failed (its reservations were cleared by `fail()`).
-                links.release_repair(c.src, c.kbps);
-                links.release_repair(c.dst, c.kbps);
-                if c.backbone_kbps > 0 {
-                    dispatcher.release_backbone(c.backbone_kbps);
-                }
+                Self::release_copy(&c, links, dispatcher);
                 self.used_bytes[c.dst.index()] -= c.bytes;
                 self.in_flight[c.video.index()] -= 1;
                 self.pending.insert(c.video.0);
@@ -490,6 +597,48 @@ impl ReplicaActuator {
                 .iter()
                 .all(|c| !(c.video.index() == v && c.dst == dst))
             && self.used_bytes[j] + self.video_bytes[v] <= self.capacity_bytes[j]
+            && self.rack_fits(v, dst)
+    }
+
+    /// Rack anti-affinity for coded stripes: placing a fragment of `v`
+    /// on `dst` must keep `dst`'s rack at or below
+    /// `⌈(k+m) / n_racks⌉` *live-or-pending* fragments (down holders do
+    /// not count — their rack slot is exactly where the replacement may
+    /// go, and recovery retires the surplus). Replicated videos and
+    /// rackless clusters are unconstrained.
+    fn rack_fits(&self, v: usize, dst: ServerId) -> bool {
+        if self.min_live[v] <= 1 || self.rack_of.is_empty() {
+            return true;
+        }
+        let Some(&r) = self.rack_of.get(dst.index()) else {
+            return true;
+        };
+        if r == u32::MAX {
+            return true;
+        }
+        let n_racks = self
+            .rack_of
+            .iter()
+            .filter(|&&x| x != u32::MAX)
+            .max()
+            .map(|&x| x as usize + 1)
+            .unwrap_or(0);
+        if n_racks == 0 {
+            return true;
+        }
+        let cap = (self.targets[v] as usize).div_ceil(n_racks) as u32;
+        let mut in_rack = 0u32;
+        for &h in &self.holders[v] {
+            if self.up[h.index()] && self.rack_of.get(h.index()) == Some(&r) {
+                in_rack += 1;
+            }
+        }
+        for c in &self.copies {
+            if c.video.index() == v && self.rack_of.get(c.dst.index()) == Some(&r) {
+                in_rack += 1;
+            }
+        }
+        in_rack < cap
     }
 
     /// Destination for the next copy of `v`: the incremental plan's pick
@@ -519,7 +668,17 @@ impl ReplicaActuator {
             return;
         }
         let bw = self.config.bandwidth_kbps;
-        let vids: Vec<u32> = self.pending.iter().copied().collect();
+        let mut vids: Vec<u32> = self.pending.iter().copied().collect();
+        if self.any_coded {
+            // Most-urgent-first: the stripe with the fewest surviving
+            // fragments above its serviceability floor repairs first
+            // (ties to the lowest video id). All-replicated runs keep the
+            // plain ascending order, byte for byte.
+            vids.sort_by_key(|&vid| {
+                let v = vid as usize;
+                (self.alive[v] as i64 - self.min_live[v] as i64, vid)
+            });
+        }
         for vid in vids {
             if self.copies.len() >= self.config.max_concurrent {
                 return;
@@ -536,12 +695,25 @@ impl ReplicaActuator {
                 if self.copies.len() >= self.config.max_concurrent {
                     return;
                 }
-                let src = self.holders[v]
+                // A coded reconstruction reads `k` surviving fragments at
+                // once; a replicated copy reads a single source. Sources
+                // rank by most free link, ties to the lowest id —
+                // identical to the old `max_by_key` pick at fan-in 1.
+                let fan_in = self.min_live[v] as usize;
+                let mut srcs: Vec<ServerId> = self.holders[v]
                     .iter()
                     .copied()
                     .filter(|&s| links.is_up(s) && links.free_kbps(s) >= bw)
-                    .max_by_key(|&s| (links.free_kbps(s), std::cmp::Reverse(s)));
-                let Some(src) = src else { break };
+                    .collect();
+                srcs.sort_by_key(|&s| (std::cmp::Reverse(links.free_kbps(s)), s));
+                if srcs.len() < fan_in {
+                    // Fewer than `k` servable fragments: reconstruction
+                    // is impossible until a holder recovers.
+                    break;
+                }
+                srcs.truncate(fan_in);
+                let src = srcs[0];
+                let extra_srcs: Vec<ServerId> = srcs[1..].to_vec();
                 let Some(dst) = self.choose_dst(v, bw, links) else {
                     break;
                 };
@@ -566,6 +738,9 @@ impl ReplicaActuator {
                     CopyPurpose::Rebalance
                 };
                 links.reserve_repair(src, bw);
+                for &s in &extra_srcs {
+                    links.reserve_repair(s, bw);
+                }
                 links.reserve_repair(dst, bw);
                 self.used_bytes[dst.index()] += self.video_bytes[v];
                 self.in_flight[v] += 1;
@@ -580,6 +755,7 @@ impl ReplicaActuator {
                     done_at: SimTime(now.ticks() + dur_ms),
                     seq: self.seq,
                     purpose,
+                    extra_srcs,
                 });
                 self.seq += 1;
             }
@@ -610,16 +786,19 @@ impl ReplicaActuator {
                 context: "complete_next called with no in-flight copies",
             })?;
         let c = self.copies.remove(idx);
-        links.release_repair(c.src, c.kbps);
-        links.release_repair(c.dst, c.kbps);
-        if c.backbone_kbps > 0 {
-            dispatcher.release_backbone(c.backbone_kbps);
-        }
+        Self::release_copy(&c, links, dispatcher);
         self.integrate(c.done_at.as_min());
         // The reservation made at copy start now backs a real replica.
         self.holders[c.video.index()].push(c.dst);
         self.in_flight[c.video.index()] -= 1;
         self.bump_alive(c.video.index(), 1);
+        let fan_in = self.min_live[c.video.index()] as u64;
+        if fan_in > 1 {
+            // Rebuilding the fragment read `k` surviving fragments for
+            // the fragment it wrote: the k× repair-read amplification.
+            self.coded_reconstructions += 1;
+            self.coded_bytes_read += c.bytes * fan_in;
+        }
         match c.purpose {
             CopyPurpose::Repair => {
                 self.bytes_copied += c.bytes;
@@ -656,18 +835,16 @@ impl ReplicaActuator {
                 .copies
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| c.src == server || c.dst == server)
+                .filter(|(_, c)| {
+                    c.src == server || c.dst == server || c.extra_srcs.contains(&server)
+                })
                 .max_by_key(|(_, c)| (c.done_at, c.seq))
                 .map(|(i, _)| i)
             else {
                 break;
             };
             let c = self.copies.remove(i);
-            links.release_repair(c.src, c.kbps);
-            links.release_repair(c.dst, c.kbps);
-            if c.backbone_kbps > 0 {
-                dispatcher.release_backbone(c.backbone_kbps);
-            }
+            Self::release_copy(&c, links, dispatcher);
             self.used_bytes[c.dst.index()] -= c.bytes;
             self.in_flight[c.video.index()] -= 1;
             self.pending.insert(c.video.0);
@@ -680,11 +857,7 @@ impl ReplicaActuator {
     pub fn finish(&mut self, horizon_min: f64, links: &mut LinkState, dispatcher: &mut Dispatcher) {
         self.integrate(horizon_min.max(self.last_update_min));
         for c in std::mem::take(&mut self.copies) {
-            links.release_repair(c.src, c.kbps);
-            links.release_repair(c.dst, c.kbps);
-            if c.backbone_kbps > 0 {
-                dispatcher.release_backbone(c.backbone_kbps);
-            }
+            Self::release_copy(&c, links, dispatcher);
             self.used_bytes[c.dst.index()] -= c.bytes;
             self.in_flight[c.video.index()] -= 1;
         }
@@ -771,8 +944,29 @@ impl ReplicaActuator {
         let mut per_video = vec![0u32; self.holders.len()];
         for c in &self.copies {
             per_video[c.video.index()] += 1;
+            // A coded reconstruction carries exactly k - 1 extra read
+            // sources, all distinct from each other and from src/dst.
+            let v = c.video.index();
+            let fan_in = self.min_live[v] as usize;
+            assert_eq!(
+                c.extra_srcs.len(),
+                fan_in.saturating_sub(1),
+                "video {v}: reconstruction fan-in mismatch"
+            );
+            let mut ends = vec![c.src, c.dst];
+            ends.extend_from_slice(&c.extra_srcs);
+            ends.sort();
+            for w in ends.windows(2) {
+                assert_ne!(w[0], w[1], "video {v}: duplicate copy endpoint");
+            }
         }
         assert_eq!(per_video, self.in_flight, "in-flight counters out of sync");
+        let fresh: f64 = self.weight.iter().sum();
+        assert!(
+            (self.deficit_weight - fresh).abs() < 1e-9,
+            "deficit weight {} drifted from per-video sum {fresh}",
+            self.deficit_weight
+        );
     }
 }
 
@@ -780,7 +974,9 @@ impl ReplicaActuator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use vod_model::redundancy::{RedundancyMap, RedundancyScheme};
     use vod_model::{BitRate, ServerSpec};
+    use vod_placement::place_coded;
 
     fn world(
         n: usize,
@@ -815,6 +1011,31 @@ mod tests {
             bandwidth_kbps,
             max_concurrent: 4,
         }
+    }
+
+    /// A uniformly `Coded { k, m }` world: fragments are `⌈bytes/k⌉`
+    /// each, placed by [`place_coded`] over `racks`.
+    fn coded_world(
+        n: usize,
+        m_videos: usize,
+        k: u32,
+        par: u32,
+        storage_slots: u64,
+        racks: &[Vec<ServerId>],
+    ) -> (Catalog, ClusterSpec, Layout) {
+        let catalog = Catalog::fixed_rate(m_videos, BitRate::MPEG2, 600).unwrap();
+        let frag = catalog.videos()[0].storage_bytes().div_ceil(k as u64);
+        let cluster = ClusterSpec::homogeneous(
+            n,
+            ServerSpec {
+                storage_bytes: storage_slots * frag,
+                bandwidth_kbps: 100_000,
+            },
+        )
+        .unwrap();
+        let map = RedundancyMap::uniform(m_videos, RedundancyScheme::Coded { k, m: par }).unwrap();
+        let layout = place_coded(n, racks, &map).unwrap();
+        (catalog, cluster, layout)
     }
 
     #[test]
@@ -1130,6 +1351,142 @@ mod tests {
         assert_eq!(c.slot_budget(), 32);
     }
 
+    #[test]
+    fn coded_failure_reconstructs_with_k_sources() {
+        let (catalog, cluster, layout) = coded_world(6, 4, 2, 1, 8, &[]);
+        let frag = catalog.videos()[0].storage_bytes().div_ceil(2);
+        let mut links = LinkState::new(&cluster);
+        let mut disp = Dispatcher::new(Default::default(), 4);
+        let mut c = ReplicaActuator::new(&catalog, &cluster, &layout, enabled(50_000));
+        assert_eq!(c.video_bytes[0], frag, "coded videos store fragments");
+        let victim = layout.replicas_of(VideoId(0))[0];
+        links.fail(victim);
+        c.on_failure(
+            SimTime::from_min(10.0),
+            victim,
+            &[0; 4],
+            &mut links,
+            &mut disp,
+        );
+        c.check_invariants();
+        assert!(!c.copies.is_empty(), "reconstruction must start");
+        for copy in &c.copies {
+            // k = 2: one primary + one extra read source, both reserved.
+            assert_eq!(copy.extra_srcs.len(), 1);
+            assert!(links.repair_kbps()[copy.extra_srcs[0].index()] > 0);
+        }
+        while c.next_completion().is_some() {
+            c.complete_next(&mut links, &mut disp).unwrap();
+            c.check_invariants();
+        }
+        for v in 0..4 {
+            assert!(c.alive[v] >= c.targets[v]);
+        }
+        let recon = c.coded_reconstructions();
+        assert!(recon > 0);
+        // Each reconstruction read k fragments for the one it wrote.
+        assert_eq!(c.coded_bytes_read(), recon * 2 * frag);
+        assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn coded_repair_never_starts_below_k_survivors() {
+        // One (2, 1) stripe over 3 of 4 servers.
+        let (catalog, cluster, layout) = coded_world(4, 1, 2, 1, 8, &[]);
+        let mut links = LinkState::new(&cluster);
+        let mut disp = Dispatcher::new(Default::default(), 1);
+        let mut c = ReplicaActuator::new(&catalog, &cluster, &layout, enabled(50_000));
+        let holders: Vec<ServerId> = layout.replicas_of(VideoId(0)).to_vec();
+        links.fail(holders[0]);
+        c.on_failure(
+            SimTime::from_min(1.0),
+            holders[0],
+            &[0; 1],
+            &mut links,
+            &mut disp,
+        );
+        // Two survivors = k: reconstruction runs.
+        assert_eq!(c.copies.len(), 1);
+        assert_eq!(c.unavailable_videos, 0);
+        // Losing a second fragment drops below k: the in-flight
+        // reconstruction (it read the dying server) aborts and no new
+        // one may start — the stripe is unavailable until recovery.
+        links.fail(holders[1]);
+        c.on_failure(
+            SimTime::from_min(2.0),
+            holders[1],
+            &[0; 1],
+            &mut links,
+            &mut disp,
+        );
+        c.check_invariants();
+        assert!(c.copies.is_empty(), "no reconstruction below k survivors");
+        assert_eq!(c.unavailable_videos, 1);
+        assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
+        c.finish(12.0, &mut links, &mut disp);
+        // Unavailable over [2, 12): 10 video·min.
+        assert!((c.unavailability_video_min() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_deficit_integrates_parity_margin() {
+        // (2, 2): margin m = 2, so one lost fragment weighs 1/2.
+        let (catalog, cluster, layout) = coded_world(6, 1, 2, 2, 8, &[]);
+        let mut links = LinkState::new(&cluster);
+        let mut disp = Dispatcher::new(Default::default(), 1);
+        let mut c = ReplicaActuator::new(&catalog, &cluster, &layout, RepairConfig::default());
+        let victim = layout.replicas_of(VideoId(0))[0];
+        links.fail(victim);
+        c.on_failure(
+            SimTime::from_min(10.0),
+            victim,
+            &[0; 1],
+            &mut links,
+            &mut disp,
+        );
+        c.check_invariants();
+        c.finish(20.0, &mut links, &mut disp);
+        // Half a video below target for 10 minutes.
+        assert!((c.deficit_video_min() - 5.0).abs() < 1e-9);
+        assert!((c.deficit_min() - 10.0).abs() < 1e-9);
+        assert!((c.unavailability_video_min()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rack_bound_steers_reconstruction_into_dead_rack() {
+        // 3 racks of 2; a (2, 1) stripe holds one fragment per rack, so
+        // the only rack below the ⌈3/3⌉ = 1 live-fragment cap is the
+        // dead holder's own — the rebuild must land on its rack buddy.
+        let racks: Vec<Vec<ServerId>> = (0..3)
+            .map(|r| vec![ServerId(2 * r), ServerId(2 * r + 1)])
+            .collect();
+        let (catalog, cluster, layout) = coded_world(6, 1, 2, 1, 8, &racks);
+        let mut links = LinkState::new(&cluster);
+        let mut disp = Dispatcher::new(Default::default(), 1);
+        let mut c = ReplicaActuator::new(&catalog, &cluster, &layout, enabled(50_000));
+        c.set_rack_map(vec![0, 0, 1, 1, 2, 2]);
+        let victim = layout.replicas_of(VideoId(0))[0];
+        let buddy = ServerId(victim.0 ^ 1);
+        links.fail(victim);
+        c.on_failure(
+            SimTime::from_min(1.0),
+            victim,
+            &[0; 1],
+            &mut links,
+            &mut disp,
+        );
+        c.check_invariants();
+        assert_eq!(c.copies.len(), 1);
+        assert_eq!(c.copies[0].dst, buddy, "rebuild must stay in the dead rack");
+        c.complete_next(&mut links, &mut disp).unwrap();
+        // Recovery retires the replacement: back to the original stripe.
+        links.recover(victim);
+        c.on_recovery(SimTime::from_min(5.0), victim, &mut links, &mut disp);
+        c.check_invariants();
+        assert_eq!(c.holders[0].len(), 3);
+        assert_eq!(c.alive[0], 3);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -1249,6 +1606,56 @@ mod tests {
                 prop_assert_eq!(c.holders[v].len(), c.targets[v] as usize);
             }
             c.finish(t + 100.0, &mut links, &mut disp);
+            prop_assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
+            prop_assert_eq!(c.in_flight.iter().sum::<u32>(), 0);
+        }
+
+        /// Coded repair under arbitrary fault/recovery/drain
+        /// interleavings never oversubscribes reserved link bandwidth
+        /// and never runs a reconstruction with fewer than `k` read
+        /// sources (`check_invariants` asserts every in-flight copy
+        /// carries exactly `k - 1` live extras).
+        #[test]
+        fn coded_fault_sequences_respect_bandwidth_and_fan_in(
+            n in 5usize..=7,
+            m in 2usize..=6,
+            par in 1u32..=2,
+            spare in 1u64..=4,
+            events in prop::collection::vec(0usize..16, 1..24),
+        ) {
+            let k = 2u32;
+            let slots = ((m * (k + par) as usize).div_ceil(n)) as u64 + spare + 2;
+            let (catalog, cluster, layout) = coded_world(n, m, k, par, slots, &[]);
+            let mut links = LinkState::new(&cluster);
+            let mut disp = Dispatcher::new(Default::default(), m);
+            let mut c = ReplicaActuator::new(
+                &catalog, &cluster, &layout,
+                RepairConfig { bandwidth_kbps: 40_000, max_concurrent: 4 },
+            );
+            let weights = vec![0u64; m];
+            let mut t = 0.0f64;
+            for (step, event) in events.into_iter().enumerate() {
+                let (srv, drain_one) = (event % 8, event / 8 == 1);
+                t += 1.0 + step as f64 * 0.5;
+                let s = ServerId((srv % n) as u32);
+                if links.is_up(s) {
+                    links.fail(s);
+                    c.on_failure(SimTime::from_min(t), s, &weights, &mut links, &mut disp);
+                } else {
+                    links.recover(s);
+                    c.on_recovery(SimTime::from_min(t), s, &mut links, &mut disp);
+                }
+                if drain_one && c.next_completion().is_some() {
+                    c.complete_next(&mut links, &mut disp).unwrap();
+                }
+                c.check_invariants();
+                prop_assert!(links.within_capacity());
+                for copy in &c.copies {
+                    prop_assert_eq!(copy.extra_srcs.len() + 1, k as usize);
+                }
+            }
+            c.finish(t + 100.0, &mut links, &mut disp);
+            c.check_invariants();
             prop_assert_eq!(links.repair_kbps().iter().sum::<u64>(), 0);
             prop_assert_eq!(c.in_flight.iter().sum::<u32>(), 0);
         }

@@ -21,14 +21,16 @@ use crate::admission::{AdmissionConfig, AdmissionState, PendingRequest};
 use crate::audit::{Auditor, Ledger};
 use crate::controller::{ControllerConfig, DriftController};
 use crate::dispatch::{AdmissionPolicy, Decision, Dispatcher};
-use crate::event::{Departure, ShardedDepartureQueue};
+use crate::event::{Departure, ShardedDepartureQueue, NO_STREAM};
 use crate::failure::{FailureModel, FailurePlan, Transition, TransitionKind};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::repair::{FailoverPolicy, RepairConfig};
 use crate::server::LinkState;
 use crate::shard::ShardPlan;
 use crate::time::SimTime;
-use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ModelError, ServerId, VideoId};
+use vod_model::{
+    BitRate, Catalog, ClusterSpec, Layout, ModelError, RedundancyMap, ServerId, VideoId,
+};
 use vod_telemetry::{Counter, Histogram, ShardInstrument, Telemetry};
 use vod_workload::{Request, Trace};
 
@@ -168,6 +170,24 @@ impl<'a> Simulation<'a> {
                 value: 0.0,
             });
         }
+        if layout.any_coded() {
+            // A coded stream spans k servers; the online controller's
+            // replica moves and the backbone's whole-copy redirects both
+            // assume one-server streams. Reject the combinations rather
+            // than silently mis-accounting.
+            if config.controller.enabled() {
+                return Err(ModelError::InvalidParameter {
+                    name: "controller with coded layout",
+                    value: 1.0,
+                });
+            }
+            if matches!(config.policy, AdmissionPolicy::BackboneRedirect { .. }) {
+                return Err(ModelError::InvalidParameter {
+                    name: "backbone redirect with coded layout",
+                    value: 1.0,
+                });
+            }
+        }
         layout.validate_storage(catalog, cluster)?;
         Ok(Simulation {
             catalog,
@@ -296,6 +316,11 @@ impl<'a> Simulation<'a> {
         // The online controller senses cluster-wide demand and moves
         // replicas across server groups: inherently coupling.
         if self.config.controller.enabled() {
+            return None;
+        }
+        // A coded stream fans out over k servers, so the replica graph
+        // cannot decouple; all-replicated layouts are unaffected.
+        if self.layout.any_coded() {
             return None;
         }
         let plan = ShardPlan::decoupled(self.layout, self.config.shards);
@@ -476,12 +501,48 @@ impl<'a> Simulation<'a> {
             drift_on.then(|| DriftController::new(self.catalog.len(), self.config.controller));
         let first_tick_min = self.config.controller.tick_min;
 
+        let coded = self
+            .layout
+            .redundancy()
+            .filter(|m| m.any_coded())
+            .map(|m| CodedState {
+                schemes: m.clone(),
+                streams: Vec::new(),
+                degraded_reads: 0,
+                shares_reattached: 0,
+            });
+        let rack_of = if coded.is_some() {
+            let mut rack_of = vec![u32::MAX; self.cluster.len()];
+            if let Some(model) = &self.config.failure_model {
+                for (r, rack) in model.racks.iter().enumerate() {
+                    for &s in &rack.servers {
+                        if rack_of[s.index()] == u32::MAX {
+                            rack_of[s.index()] = r as u32;
+                        }
+                    }
+                }
+            }
+            rack_of
+        } else {
+            Vec::new()
+        };
+        let controller = controller.map(|mut c| {
+            if !rack_of.is_empty() {
+                // Coded repair destinations honor the same per-rack
+                // fragment bound the auditor enforces.
+                c.set_rack_map(rack_of.clone());
+            }
+            c
+        });
+
         let mut state = RunState {
             links: LinkState::new(self.cluster),
             dispatcher: Dispatcher::new(self.config.policy, self.catalog.len()),
             metrics: MetricsCollector::new(self.catalog.len()),
             departures: ShardedDepartureQueue::new(self.cluster.len(), queue_shards),
             controller,
+            coded,
+            rack_of,
             layout: self.layout,
             transitions,
             next_transition: 0,
@@ -568,11 +629,15 @@ impl<'a> Simulation<'a> {
         state.audit_check(SimTime::from_min(self.config.horizon_min))?;
         for d in state.departures.drain_all() {
             ct.departures.inc();
-            if state.links.epoch(d.server) == d.epoch {
+            if d.stream == NO_STREAM {
+                if state.links.epoch(d.server) == d.epoch {
+                    state.links.release(d.server, d.kbps);
+                }
+                if d.backbone_kbps > 0 {
+                    state.dispatcher.release_backbone(d.backbone_kbps);
+                }
+            } else if state.stream_live(d.stream) && state.links.epoch(d.server) == d.epoch {
                 state.links.release(d.server, d.kbps);
-            }
-            if d.backbone_kbps > 0 {
-                state.dispatcher.release_backbone(d.backbone_kbps);
             }
         }
         debug_assert_eq!(state.links.total_streams(), 0);
@@ -595,6 +660,26 @@ impl<'a> Simulation<'a> {
             telemetry
                 .histogram("sim.repair.time_to_redundancy_min")
                 .observe(c.deficit_min());
+        }
+
+        if let Some(cs) = &state.coded {
+            // Coded-tier instruments exist only for coded runs, so
+            // all-replicated manifests stay byte-identical to pre-coding
+            // ones.
+            telemetry
+                .counter("sim.coded.degraded_reads")
+                .add(cs.degraded_reads);
+            telemetry
+                .counter("sim.coded.shares_reattached")
+                .add(cs.shares_reattached);
+            if let Some(c) = &state.controller {
+                telemetry
+                    .counter("sim.repair.coded.reconstructions")
+                    .add(c.coded_reconstructions());
+                telemetry
+                    .counter("sim.repair.coded.bytes")
+                    .add(c.coded_bytes_read());
+            }
         }
 
         if let Some(d) = &state.drift {
@@ -718,6 +803,41 @@ enum Rescued {
     No,
 }
 
+/// One live (or killed) coded viewer: the `k` fragment shares it is
+/// being served from, tied to its departures by index into
+/// [`CodedState::streams`].
+#[derive(Debug)]
+struct CodedStream {
+    /// The servers currently streaming one fragment share each
+    /// (emptied when the stream is killed).
+    servers: Vec<ServerId>,
+    /// Per-holder share rate, `⌈rate / k⌉` kbps.
+    share_kbps: u64,
+    /// The viewer-facing admitted rate (goodput accounting on kill).
+    full_kbps: u64,
+    /// Set when failover could not keep `k` shares alive; the sibling
+    /// departures then pop without releasing anything.
+    killed: bool,
+}
+
+/// Engine-side state for erasure-coded serving, present only when the
+/// bound layout has at least one `Coded` video — all-replicated runs
+/// never allocate it and take the exact pre-coding code paths.
+#[derive(Debug)]
+struct CodedState {
+    /// Per-video schemes (cloned from the layout's redundancy map).
+    schemes: RedundancyMap,
+    /// Every coded stream ever admitted, indexed by `Departure::stream`.
+    /// Slots are never freed: at simulation scale the retained tail is
+    /// a few dozen bytes per admission.
+    streams: Vec<CodedStream>,
+    /// Admissions that had to read at least one parity fragment
+    /// (some of the first `k` holders were unavailable).
+    degraded_reads: u64,
+    /// Failed-over fragment shares re-attached to another holder.
+    shares_reattached: u64,
+}
+
 /// Mutable run-loop state, split out so the background-event pump and the
 /// failover logic can borrow its fields independently.
 struct RunState<'a> {
@@ -726,6 +846,12 @@ struct RunState<'a> {
     metrics: MetricsCollector,
     departures: ShardedDepartureQueue,
     controller: Option<ReplicaActuator>,
+    /// Coded-serving state (`None` for all-replicated layouts).
+    coded: Option<CodedState>,
+    /// Rack of each server (`u32::MAX` = unracked), non-empty only when
+    /// a coded layout runs under a rack failure model; feeds the
+    /// auditor's rack anti-affinity check.
+    rack_of: Vec<u32>,
     /// Sensing/decision state of the online replication controller
     /// (`None` unless [`ControllerConfig::enabled`]).
     drift: Option<DriftController>,
@@ -796,11 +922,17 @@ impl RunState<'_> {
                         context: "departure queue empty at its own next_time",
                     })?;
                 ct.departures.inc();
-                if self.links.epoch(d.server) == d.epoch {
+                if d.stream == NO_STREAM {
+                    if self.links.epoch(d.server) == d.epoch {
+                        self.links.release(d.server, d.kbps);
+                    }
+                    if d.backbone_kbps > 0 {
+                        self.dispatcher.release_backbone(d.backbone_kbps);
+                    }
+                } else if self.stream_live(d.stream) && self.links.epoch(d.server) == d.epoch {
+                    // One fragment share of a coded stream ends; killed
+                    // streams released their shares at kill time.
                     self.links.release(d.server, d.kbps);
-                }
-                if d.backbone_kbps > 0 {
-                    self.dispatcher.release_backbone(d.backbone_kbps);
                 }
                 // Freed streaming bandwidth may unblock a stalled copy
                 // first (repair priority), then waiting clients.
@@ -913,7 +1045,22 @@ impl RunState<'_> {
                 rejected,
                 abandoned,
             },
-        )
+        )?;
+        if let Some(cs) = &self.coded {
+            // Anti-affinity holds for the bound layout by construction;
+            // what needs auditing is the actuator's evolving holder map
+            // (repair destinations). Static coded runs audit the layout
+            // itself once per event — cheap at audit-only cadence.
+            let holders = match &self.controller {
+                Some(c) => c.holders_all(),
+                None => self.layout.assignments(),
+            };
+            self.auditor
+                .as_ref()
+                .expect("auditor vanished")
+                .check_placement(at, holders, &cs.schemes, &self.rack_of)?;
+        }
+        Ok(())
     }
 
     /// Routes one request now owed an outcome: admit (possibly degraded),
@@ -971,6 +1118,11 @@ impl RunState<'_> {
         rate: u64,
         ct: &EngineCounters,
     ) -> bool {
+        if let Some(cs) = &self.coded {
+            if cs.schemes.get(req.video).is_coded() {
+                return self.try_admit_coded(now, req, rate, ct);
+            }
+        }
         let replicas = match &self.controller {
             Some(c) => c.holders(req.video),
             None => self.layout.replicas_of(req.video),
@@ -1004,11 +1156,159 @@ impl RunState<'_> {
                     kbps: rate,
                     backbone_kbps,
                     epoch: self.links.epoch(server),
+                    stream: NO_STREAM,
                 });
                 true
             }
             Decision::Reject => false,
         }
+    }
+
+    /// Whether coded stream `stream` is still live (not killed by
+    /// failover). False without coded state — replicated runs carry no
+    /// stream-tagged departures, so the question never arises there.
+    fn stream_live(&self, stream: u32) -> bool {
+        self.coded
+            .as_ref()
+            .is_some_and(|cs| !cs.streams[stream as usize].killed)
+    }
+
+    /// Coded admission: serve `req` from `k` live fragment holders, each
+    /// charged a `⌈rate / k⌉` share. Holders are tried in fragment order
+    /// (positions `0..k` are the data fragments); having to reach past
+    /// position `k - 1` means reading parity — a *degraded read*.
+    /// Fails (false) when fewer than `k` holders can admit the share,
+    /// falling through to the caller's degrade/queue/retry/reject path.
+    fn try_admit_coded(
+        &mut self,
+        now: SimTime,
+        req: &PendingRequest,
+        rate: u64,
+        ct: &EngineCounters,
+    ) -> bool {
+        let cs = self.coded.as_ref().expect("coded admission without state");
+        let scheme = cs.schemes.get(req.video);
+        let k = scheme.min_live() as usize;
+        let share = scheme.share_kbps(rate);
+        let holders = match &self.controller {
+            Some(c) => c.holders(req.video),
+            None => self.layout.replicas_of(req.video),
+        };
+        let mut chosen: Vec<ServerId> = Vec::with_capacity(k);
+        let mut degraded_read = false;
+        for (pos, &h) in holders.iter().enumerate() {
+            if chosen.len() == k {
+                break;
+            }
+            if self.links.can_admit(h, share) {
+                if pos >= k {
+                    degraded_read = true;
+                }
+                chosen.push(h);
+            }
+        }
+        if chosen.len() < k {
+            return false;
+        }
+
+        let stream = {
+            let cs = self.coded.as_mut().expect("coded admission without state");
+            cs.streams.push(CodedStream {
+                servers: chosen.clone(),
+                share_kbps: share,
+                full_kbps: rate,
+                killed: false,
+            });
+            if degraded_read {
+                cs.degraded_reads += 1;
+            }
+            (cs.streams.len() - 1) as u32
+        };
+        let at = now + SimTime::from_secs(req.duration_s);
+        for &h in &chosen {
+            self.links.admit(h, share);
+            self.departures.push(Departure {
+                at,
+                server: h,
+                video: req.video,
+                kbps: share,
+                backbone_kbps: 0,
+                epoch: self.links.epoch(h),
+                stream,
+            });
+        }
+        ct.admitted.inc();
+        self.metrics.on_admit(false);
+        let wait = (now - req.arrived).as_min();
+        self.metrics.on_wait(wait);
+        ct.wait_min.observe(wait);
+        self.metrics.on_delivered(rate, req.duration_s);
+        if rate < req.kbps {
+            ct.adm_degraded.inc();
+            self.metrics.on_degraded_served();
+        }
+        true
+    }
+
+    /// Tries to move one lost fragment share of a live coded stream to
+    /// another holder of the video (a fragment not already serving this
+    /// stream). On success the sibling shares are untouched and the
+    /// stream merely reads a different fragment set.
+    fn reattach_share(&mut self, d: &Departure, from: ServerId) -> bool {
+        let pick = {
+            let cs = self.coded.as_ref().expect("coded share without state");
+            let serving = &cs.streams[d.stream as usize].servers;
+            let holders = match &self.controller {
+                Some(c) => c.holders(d.video),
+                None => self.layout.replicas_of(d.video),
+            };
+            holders
+                .iter()
+                .copied()
+                .filter(|&h| h != from && !serving.contains(&h) && self.links.can_admit(h, d.kbps))
+                .max_by_key(|&h| (self.links.free_kbps(h), std::cmp::Reverse(h)))
+        };
+        let Some(h) = pick else {
+            return false;
+        };
+        self.links.admit(h, d.kbps);
+        self.departures.push(Departure {
+            at: d.at,
+            server: h,
+            video: d.video,
+            kbps: d.kbps,
+            backbone_kbps: 0,
+            epoch: self.links.epoch(h),
+            stream: d.stream,
+        });
+        let cs = self.coded.as_mut().expect("coded share without state");
+        let s = &mut cs.streams[d.stream as usize];
+        if let Some(slot) = s.servers.iter_mut().find(|x| **x == from) {
+            *slot = h;
+        }
+        cs.degraded_reads += 1;
+        cs.shares_reattached += 1;
+        true
+    }
+
+    /// Kills a live coded stream whose share on `gone` was lost and
+    /// could not be re-attached: releases the sibling shares (the share
+    /// on `gone` itself is already gone — dropped by the failure or
+    /// released by the brownout shed) and charges the undelivered
+    /// remainder at the viewer-facing rate.
+    fn kill_coded_stream(&mut self, at: SimTime, d: &Departure, gone: ServerId) {
+        let (servers, share, full) = {
+            let cs = self.coded.as_mut().expect("coded share without state");
+            let s = &mut cs.streams[d.stream as usize];
+            s.killed = true;
+            (std::mem::take(&mut s.servers), s.share_kbps, s.full_kbps)
+        };
+        for &h in &servers {
+            if h != gone {
+                self.links.release(h, share);
+            }
+        }
+        self.metrics.on_undelivered(full, (d.at - at).ticks());
     }
 
     /// After capacity frees up, offers every waiting request a slot in
@@ -1062,6 +1362,22 @@ impl RunState<'_> {
             let Some(d) = active.pop() else {
                 break;
             };
+            if d.stream != NO_STREAM {
+                if !self.stream_live(d.stream) {
+                    // A sibling kill already released this share; the
+                    // departure just waits to pop as a no-op.
+                    self.departures.push(d);
+                    continue;
+                }
+                self.links.release(server, d.kbps);
+                if self.failover != FailoverPolicy::Kill && self.reattach_share(&d, server) {
+                    resumed += 1;
+                } else {
+                    self.kill_coded_stream(at, &d, server);
+                    disrupted += 1;
+                }
+                continue;
+            }
             self.links.release(server, d.kbps);
             let rescued = if self.failover == FailoverPolicy::Kill {
                 Rescued::No
@@ -1116,6 +1432,12 @@ impl RunState<'_> {
     /// Server failure: rescue its active streams if the failover policy
     /// allows, then hand the topology change to the repair controller.
     fn on_down(&mut self, at: SimTime, server: ServerId, ct: &EngineCounters) {
+        if self.coded.is_some() {
+            // Coded shares must be found even under `Kill` (their
+            // sibling shares live on other servers); the dedicated path
+            // keeps this one byte-identical for all-replicated runs.
+            return self.on_down_coded(at, server, ct);
+        }
         let mut rescued = std::mem::take(&mut self.extract_scratch);
         if self.failover == FailoverPolicy::Kill {
             rescued.clear();
@@ -1155,6 +1477,77 @@ impl RunState<'_> {
             }
         }
         self.extract_scratch = rescued;
+        if disrupted > 0 {
+            ct.disrupted.add(disrupted);
+            self.metrics.on_disrupted(disrupted);
+        }
+        if resumed > 0 {
+            ct.resumed.add(resumed);
+            self.metrics.on_resumed(resumed);
+        }
+        if degraded > 0 {
+            ct.degraded.add(degraded);
+            self.metrics.on_degraded(degraded);
+        }
+    }
+
+    /// [`RunState::on_down`] for runs with coded videos: every active
+    /// departure on the failed server is extracted (even under `Kill`),
+    /// coded shares re-attach to surviving fragment holders or kill
+    /// their whole stream, and replicated streams keep the exact
+    /// per-policy semantics of the plain path.
+    fn on_down_coded(&mut self, at: SimTime, server: ServerId, ct: &EngineCounters) {
+        let mut extracted = std::mem::take(&mut self.extract_scratch);
+        self.departures
+            .extract_active_into(server, self.links.epoch(server), &mut extracted);
+        let dropped = self.links.fail(server) as u64;
+        if let Some(c) = self.controller.as_mut() {
+            c.on_failure(
+                at,
+                server,
+                self.metrics.per_video_arrivals(),
+                &mut self.links,
+                &mut self.dispatcher,
+            );
+        }
+        let (mut disrupted, mut resumed, mut degraded, mut live) = (0u64, 0u64, 0u64, 0u64);
+        for d in extracted.drain(..) {
+            if d.stream != NO_STREAM {
+                if !self.stream_live(d.stream) {
+                    // Share of an already-killed stream: its bandwidth
+                    // was released at kill time (it is not in `dropped`).
+                    continue;
+                }
+                live += 1;
+                if self.failover != FailoverPolicy::Kill && self.reattach_share(&d, server) {
+                    resumed += 1;
+                } else {
+                    self.kill_coded_stream(at, &d, server);
+                    disrupted += 1;
+                }
+                continue;
+            }
+            live += 1;
+            if self.failover == FailoverPolicy::Kill {
+                // Unconditional kill, goodput-uncharged — the documented
+                // kill-path simplification; re-queue so any backbone
+                // reservation is reclaimed at the scheduled end.
+                disrupted += 1;
+                self.departures.push(d);
+                continue;
+            }
+            match self.rescue_stream(at, &d, server) {
+                Rescued::Full => resumed += 1,
+                Rescued::Degraded => degraded += 1,
+                Rescued::No => {
+                    disrupted += 1;
+                    self.metrics.on_undelivered(d.kbps, (d.at - at).ticks());
+                    self.departures.push(d);
+                }
+            }
+        }
+        debug_assert_eq!(dropped, live);
+        self.extract_scratch = extracted;
         if disrupted > 0 {
             ct.disrupted.add(disrupted);
             self.metrics.on_disrupted(disrupted);
@@ -1209,6 +1602,7 @@ impl RunState<'_> {
                 kbps: d.kbps,
                 backbone_kbps: d.backbone_kbps,
                 epoch: self.links.epoch(h),
+                stream: d.stream,
             });
             return Rescued::Full;
         }
@@ -1228,6 +1622,7 @@ impl RunState<'_> {
                         kbps,
                         backbone_kbps: d.backbone_kbps,
                         epoch: self.links.epoch(h),
+                        stream: d.stream,
                     });
                     return Rescued::Degraded;
                 }
@@ -2275,5 +2670,171 @@ mod tests {
             serde_json::to_string(&r).unwrap(),
             serde_json::to_string(&again).unwrap()
         );
+    }
+
+    // ---- erasure-coded serving ----
+
+    /// One `Coded { k, m }` video striped over the first `k + m` of `n`
+    /// servers (fragment order s0, s1, …).
+    fn coded_tiny(
+        n: usize,
+        k: u32,
+        par: u32,
+        bandwidth_kbps: u64,
+    ) -> (Catalog, ClusterSpec, Layout) {
+        let catalog = Catalog::fixed_rate(1, BitRate::MPEG2, 600).unwrap();
+        let cluster = ClusterSpec::homogeneous(
+            n,
+            ServerSpec {
+                storage_bytes: u64::MAX,
+                bandwidth_kbps,
+            },
+        )
+        .unwrap();
+        let map = vod_model::redundancy::RedundancyMap::uniform(
+            1,
+            vod_model::redundancy::RedundancyScheme::Coded { k, m: par },
+        )
+        .unwrap();
+        let layout = vod_placement::place_coded(n, &[], &map).unwrap();
+        (catalog, cluster, layout)
+    }
+
+    #[test]
+    fn coded_stream_needs_k_free_fragment_holders() {
+        // (2, 1) on 3 servers, each link fits exactly one 2 000 kbps
+        // share: the first stream occupies two fragments, leaving one —
+        // a concurrent request cannot gather k = 2 and is rejected.
+        let (catalog, cluster, layout) = coded_tiny(3, 2, 1, 2_000);
+        let sim = Simulation::new(&catalog, &cluster, &layout, SimConfig::paper_default()).unwrap();
+        let r = sim
+            .run(&Trace::new(vec![req(0.0, 0), req(5.0, 0), req(10.0, 0)]).unwrap())
+            .unwrap();
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.rejected, 1);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn coded_single_failure_reattaches_to_parity_fragment() {
+        // Serving from fragments {s0, s1}; s1 dies mid-play. The share
+        // re-attaches to the parity holder s2 (a degraded read) and the
+        // stream survives to completion.
+        let (catalog, cluster, layout) = coded_tiny(3, 2, 1, 8_000);
+        let cfg = SimConfig {
+            failover: FailoverPolicy::ResumeOrDegrade,
+            ..failing_cfg(vec![Outage {
+                server: ServerId(1),
+                down_at_min: 5.0,
+                up_at_min: None,
+            }])
+        };
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let tel = Telemetry::enabled();
+        let r = sim
+            .run_with_telemetry(&Trace::new(vec![req(0.0, 0)]).unwrap(), &tel)
+            .unwrap();
+        assert_eq!(r.admitted, 1);
+        assert_eq!(r.disrupted, 0);
+        assert_eq!(r.resumed, 1);
+        assert!(r.is_conservative());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("sim.coded.shares_reattached"), 1);
+        assert_eq!(snap.counter("sim.coded.degraded_reads"), 1);
+    }
+
+    #[test]
+    fn coded_losing_more_than_m_fragments_kills_the_stream() {
+        // (2, 1) tolerates one loss; the second exceeds the parity
+        // margin and the stream dies through the normal failover path.
+        let (catalog, cluster, layout) = coded_tiny(3, 2, 1, 8_000);
+        let cfg = SimConfig {
+            failover: FailoverPolicy::ResumeOrDegrade,
+            ..failing_cfg(vec![
+                Outage {
+                    server: ServerId(0),
+                    down_at_min: 4.0,
+                    up_at_min: None,
+                },
+                Outage {
+                    server: ServerId(1),
+                    down_at_min: 5.0,
+                    up_at_min: None,
+                },
+            ])
+        };
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let r = sim.run(&Trace::new(vec![req(0.0, 0)]).unwrap()).unwrap();
+        assert_eq!(r.admitted, 1);
+        assert_eq!(r.resumed, 1, "first loss re-attaches to s2");
+        assert_eq!(r.disrupted, 1, "second loss has no fragment left");
+        assert!(r.goodput < 1.0, "killed stream forfeits its remainder");
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn coded_kill_policy_kills_on_first_loss() {
+        let (catalog, cluster, layout) = coded_tiny(3, 2, 1, 8_000);
+        let cfg = failing_cfg(vec![Outage {
+            server: ServerId(0),
+            down_at_min: 5.0,
+            up_at_min: None,
+        }]);
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let r = sim.run(&Trace::new(vec![req(0.0, 0)]).unwrap()).unwrap();
+        assert_eq!(r.disrupted, 1);
+        assert_eq!(r.resumed, 0);
+        assert!(r.is_conservative());
+    }
+
+    #[test]
+    fn coded_layout_rejects_controller_and_backbone_redirect() {
+        let (catalog, cluster, layout) = coded_tiny(3, 2, 1, 8_000);
+        let backbone = SimConfig {
+            policy: AdmissionPolicy::BackboneRedirect {
+                backbone_capacity_kbps: 1_000_000,
+            },
+            ..SimConfig::paper_default()
+        };
+        assert!(Simulation::new(&catalog, &cluster, &layout, backbone).is_err());
+        assert!(Simulation::new(&catalog, &cluster, &layout, controller_cfg(5.0)).is_err());
+    }
+
+    #[test]
+    fn coded_repair_reconstructs_lost_fragment_mid_run() {
+        // Stripe on {s0, s1, s2}; s0 dies for good at t=5. With repair
+        // bandwidth the lost fragment is rebuilt on the spare s3 from
+        // k = 2 survivors, and the deficit window closes right after.
+        let (catalog, cluster, layout) = coded_tiny(4, 2, 1, 100_000);
+        let cfg = SimConfig {
+            repair: RepairConfig {
+                bandwidth_kbps: 50_000,
+                max_concurrent: 4,
+            },
+            ..failing_cfg(vec![Outage {
+                server: ServerId(0),
+                down_at_min: 5.0,
+                up_at_min: None,
+            }])
+        };
+        let sim = Simulation::new(&catalog, &cluster, &layout, cfg).unwrap();
+        let tel = Telemetry::enabled();
+        let r = sim
+            .run_with_telemetry(&Trace::new(vec![]).unwrap(), &tel)
+            .unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("sim.repair.coded.reconstructions"), 1);
+        // Reading k fragments to write one: 2× the bytes written.
+        assert_eq!(
+            snap.counter("sim.repair.coded.bytes"),
+            2 * r.repair_bytes_copied
+        );
+        assert!(r.redundancy_deficit_video_min > 0.0);
+        assert!(
+            r.redundancy_deficit_video_min < 5.0,
+            "repair must close the deficit quickly, got {}",
+            r.redundancy_deficit_video_min
+        );
+        assert_eq!(r.unavailability_video_min, 0.0);
     }
 }

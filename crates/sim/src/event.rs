@@ -18,7 +18,15 @@
 use crate::time::SimTime;
 use vod_model::{ServerId, VideoId};
 
+/// Marks a departure that belongs to no coded stream (a whole-copy
+/// replica stream, the only kind the paper's model produces).
+pub const NO_STREAM: u32 = u32::MAX;
+
 /// A scheduled stream completion.
+///
+/// A replicated stream is one departure. A coded stream is `k`
+/// departures — one fragment share per serving holder — tied together
+/// by a shared `stream` id so failover can find the sibling shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Departure {
     /// When the stream ends.
@@ -36,6 +44,9 @@ pub struct Departure {
     /// whose epoch no longer matches is stale (the stream was killed by a
     /// failure) and must not release link bandwidth.
     pub epoch: u32,
+    /// Coded stream id tying the `k` fragment-share departures of one
+    /// viewer together, or [`NO_STREAM`] for whole-copy streams.
+    pub stream: u32,
 }
 
 /// Null handle for slab links and list heads.
@@ -56,6 +67,7 @@ struct Slot {
     server: ServerId,
     video: VideoId,
     epoch: u32,
+    stream: u32,
     /// Index of this slot's entry in `DepartureQueue::heap`.
     heap_pos: u32,
     /// Intrusive per-server list links (`NONE` = end).
@@ -143,6 +155,7 @@ impl DepartureQueue {
             server: d.server,
             video: d.video,
             epoch: d.epoch,
+            stream: d.stream,
             heap_pos: self.heap.len() as u32,
             prev: NONE,
             next: head,
@@ -286,6 +299,7 @@ impl DepartureQueue {
             kbps: slot.kbps,
             backbone_kbps: slot.backbone_kbps,
             epoch: slot.epoch,
+            stream: slot.stream,
         }
     }
 
@@ -502,6 +516,7 @@ mod tests {
             kbps: 4_000,
             backbone_kbps: 0,
             epoch: 0,
+            stream: NO_STREAM,
         }
     }
 

@@ -30,6 +30,7 @@ struct DepartureRecord {
     kbps: u64,
     backbone_kbps: u64,
     epoch: u32,
+    stream: u32,
 }
 
 impl ReferenceQueue {
@@ -43,6 +44,7 @@ impl ReferenceQueue {
                 kbps: d.kbps,
                 backbone_kbps: d.backbone_kbps,
                 epoch: d.epoch,
+                stream: d.stream,
             },
         )));
         self.seq += 1;
@@ -61,6 +63,7 @@ impl ReferenceQueue {
             kbps: rec.kbps,
             backbone_kbps: rec.backbone_kbps,
             epoch: rec.epoch,
+            stream: rec.stream,
         })
     }
 
@@ -80,6 +83,7 @@ impl ReferenceQueue {
                     kbps: rec.kbps,
                     backbone_kbps: rec.backbone_kbps,
                     epoch: rec.epoch,
+                    stream: rec.stream,
                 });
             } else {
                 self.heap.push(Reverse((at, seq, rec)));
@@ -129,6 +133,7 @@ impl Strategy for OpStrategy {
                 kbps: 1_000 + 500 * rng.gen_range(0u64..8),
                 backbone_kbps: rng.gen_range(0u64..2) * 300,
                 epoch: rng.gen_range(0u32..3),
+                stream: vod_sim::event::NO_STREAM,
             }),
             5..=7 => Op::PopDue(SimTime(rng.gen_range(0u64..220))),
             8 => Op::ExtractActive(ServerId(rng.gen_range(0u32..4)), rng.gen_range(0u32..3)),
