@@ -16,6 +16,13 @@
 //! parallel). The two runs produce byte-identical reports — asserted
 //! before measuring — so the throughput delta is pure engine overhead
 //! vs parallel speedup.
+//!
+//! Plus the scale group: the A-9 world shape (512 servers, 20,000
+//! videos, diurnal + premiere + churn arrivals) replayed through the
+//! streaming arrival pipeline vs a pre-materialized trace of the
+//! identical request sequence. The two reports are equal — asserted
+//! before measuring — so the delta isolates what lazy pull costs (or
+//! saves) against iterate-a-Vec at production catalog sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
@@ -173,5 +180,58 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_a1_macro, bench_sharded);
+/// The A-9 production world shape, horizon-trimmed so one engine pass
+/// fits a bench iteration (the full 48-hour run is the `experiments
+/// scale` command's job; throughput per event is what matters here).
+fn bench_scale(c: &mut Criterion) {
+    use vod_experiments::runner::{build_plan, Combo};
+    use vod_experiments::scale::ScaleWorld;
+
+    let mut group = c.benchmark_group("a1_macro_scale");
+    group.sample_size(10);
+    let mut world = ScaleWorld::production(1);
+    world.setup.horizon_min = 360.0;
+    world.diurnal.period_min = 360.0;
+    world.pulses = vec![vod_workload::RatePulse {
+        start_min: 120.0,
+        duration_min: 45.0,
+        multiplier: 1.5,
+    }];
+    let point = build_plan(&world.setup, Combo::ZIPF_SLF, world.theta, world.degree).unwrap();
+    let workload = world.workload().unwrap();
+    let sim = Simulation::new(
+        point.planner().catalog(),
+        point.planner().cluster(),
+        &point.plan.layout,
+        SimConfig {
+            horizon_min: world.setup.horizon_min,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let seed = 0x5CA1E;
+    let stream = || workload.stream(ChaCha8Rng::seed_from_u64(seed)).unwrap();
+    let trace = workload
+        .generate(&mut ChaCha8Rng::seed_from_u64(seed))
+        .unwrap();
+    // Equivalence gate: the streaming pull and the materialized replay
+    // must report identically, or the A/B below compares nothing.
+    assert_eq!(
+        sim.run_streaming(stream()).unwrap(),
+        sim.run(&trace).unwrap()
+    );
+    let telemetry = vod_telemetry::Telemetry::enabled();
+    sim.run_with_telemetry(&trace, &telemetry).unwrap();
+    let events = telemetry.snapshot().counter("sim.events");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function(BenchmarkId::new("arrivals", "streaming"), |b| {
+        b.iter(|| black_box(sim.run_streaming(black_box(stream())).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("arrivals", "materialized"), |b| {
+        b.iter(|| black_box(sim.run(black_box(&trace)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_a1_macro, bench_sharded, bench_scale);
 criterion_main!(benches);

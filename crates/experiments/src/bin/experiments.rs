@@ -24,6 +24,12 @@
 //!   overload  admission queueing, retries and brownouts under overload (A-6)
 //!   controller  online replication controller under intra-run drift (A-7)
 //!   coding    erasure-coded redundancy vs replication under faults (A-8)
+//!   scale     production-scale streaming world vs capacity bounds (A-9):
+//!             512 servers / 20k videos / 48h diurnal trace pulled from
+//!             the streaming arrival pipeline (--fast: the CI-sized
+//!             64-server smoke world); prints one machine-readable
+//!             SCALE line and fails if bytes/active-stream exceeds the
+//!             documented ceiling
 //!   perf-smoke  pinned-size throughput measurements (N = 8, M = 200,
 //!               fixed seed): simulator events/sec and annealer SA
 //!               steps/sec; prints one machine-readable PERF_SMOKE line
@@ -32,9 +38,10 @@
 //!   --shards N      engine shards per simulation (default 1; reports are
 //!                   byte-identical at any shard count — CI diffs them)
 //!   --metrics FILE  append one JSONL run-manifest record per experiment
-//!   --check FILE    perf-smoke only: fail if events/sec, SA steps/sec or
-//!                   parallel events/sec drops more than 30% below the
-//!                   baseline in FILE
+//!   --check FILE    perf-smoke only: fail if events/sec, SA steps/sec,
+//!                   parallel events/sec, streaming-generation
+//!                   requests/sec or streaming-engine events/sec drops
+//!                   more than 30% below the baseline in FILE
 //!   --scheme S      coding only: narrow the sweep to one redundancy
 //!                   scheme — `repR` (e.g. rep3) for R full replicas, or
 //!                   `rs` with `--k K --m M` for a Reed-Solomon stripe
@@ -51,7 +58,7 @@ use vod_experiments::runner::{build_plan, run_replications_with_telemetry, Combo
 use vod_experiments::PaperSetup;
 use vod_experiments::{
     ablation, availability, bound, coding, controller, drift, fig1, fig2, fig3, fig4, fig5, fig6,
-    overload, quality, recovery, sa, sa_multirate, striping,
+    overload, quality, recovery, sa, sa_multirate, scale, striping,
 };
 use vod_model::{
     BitRate, Catalog, ClusterSpec, Layout, ObjectiveWeights, Popularity, RedundancyScheme,
@@ -59,7 +66,7 @@ use vod_model::{
 };
 use vod_sim::{AdmissionPolicy, SimConfig, Simulation};
 use vod_telemetry::{ManifestWriter, RunRecord, Telemetry};
-use vod_workload::{Request, Trace};
+use vod_workload::{ArrivalSource, Request, Trace};
 
 #[derive(Debug)]
 struct Args {
@@ -312,6 +319,7 @@ const EXPERIMENTS: &[(&str, u64, ExpFn)] = &[
     ("overload", 0x0AD6, overload::run),
     ("controller", 0xC0A7, controller::run),
     ("coding", 0xC0DE, coding::run),
+    ("scale", scale::SCALE_SEED, scale::run),
 ];
 
 /// Builds the manifest record for one finished experiment: pinned
@@ -509,6 +517,39 @@ fn perf_smoke(
     // Sharded-engine measurement (pods world, shards = 8; byte-identity
     // against the serial engine is asserted inside).
     let (par_events, par_secs, par_events_per_sec) = par_perf_measurement()?;
+
+    // Streaming-generation measurement: requests/sec pulled from the
+    // thinned arrival source of the mini scale world, including the
+    // per-stream construction pre-pass (each iteration rebuilds the
+    // source, which is how the engine consumes it).
+    let gen_world = scale::ScaleWorld::mini(1);
+    let gen_workload = gen_world.workload()?;
+    let gen_started = Instant::now();
+    let mut gen_requests = 0u64;
+    while gen_requests == 0 || gen_started.elapsed().as_secs_f64() < 0.4 {
+        let mut source = gen_workload.stream(ChaCha8Rng::seed_from_u64(seed))?;
+        while let Some(r) = source.next_request() {
+            std::hint::black_box(r);
+            gen_requests += 1;
+        }
+    }
+    let gen_secs = gen_started.elapsed().as_secs_f64();
+    let gen_requests_per_sec = gen_requests as f64 / gen_secs;
+
+    // Streaming-engine measurement on the mini scale world, repeated
+    // until enough engine wall time accumulates (events/sec uses the
+    // engine-only time `compute` reports, not the planning time).
+    let scale_started = Instant::now();
+    let mut scale_events = 0u64;
+    let mut scale_engine_secs = 0.0;
+    while scale_events == 0 || scale_started.elapsed().as_secs_f64() < 0.4 {
+        let outcome = scale::compute(&gen_world, seed)?;
+        scale_events += outcome.summary.events;
+        scale_engine_secs += outcome.summary.wall_secs;
+    }
+    let scale_secs = scale_started.elapsed().as_secs_f64();
+    let scale_events_per_sec = scale_events as f64 / scale_engine_secs.max(f64::MIN_POSITIVE);
+
     let wall_secs = started.elapsed().as_secs_f64();
 
     let snapshot = telemetry.snapshot();
@@ -526,8 +567,11 @@ fn perf_smoke(
          requests_per_sec={requests_per_sec:.0} rejection_rate={rejection_rate:.4} \
          sa_steps={sa_steps} sa_steps_per_sec={sa_steps_per_sec:.0} \
          par_events={par_events} par_events_per_sec={par_events_per_sec:.0} \
+         gen_requests={gen_requests} gen_requests_per_sec={gen_requests_per_sec:.0} \
+         scale_events={scale_events} scale_events_per_sec={scale_events_per_sec:.0} \
          plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} sa_secs={sa_secs:.3} \
-         par_secs={par_secs:.3} wall_secs={wall_secs:.3}",
+         par_secs={par_secs:.3} gen_secs={gen_secs:.3} scale_secs={scale_secs:.3} \
+         wall_secs={wall_secs:.3}",
         setup.n_servers, setup.n_videos, setup.runs,
     );
 
@@ -538,11 +582,15 @@ fn perf_smoke(
             .phase("simulate", sim_secs)
             .phase("anneal", sa_secs)
             .phase("par_simulate", par_secs)
+            .phase("generate", gen_secs)
+            .phase("scale_simulate", scale_secs)
             // Override the wall-clock-derived figures with the
             // phase-local ones (each hot loop only ran during its own
             // phase).
             .rate("sa_steps_per_sec", sa_steps_per_sec)
-            .rate("par_events_per_sec", par_events_per_sec);
+            .rate("par_events_per_sec", par_events_per_sec)
+            .rate("gen_requests_per_sec", gen_requests_per_sec)
+            .rate("scale_events_per_sec", scale_events_per_sec);
         ManifestWriter::append_to(path)?.write(&record)?;
     }
 
@@ -554,6 +602,10 @@ fn perf_smoke(
             sa_steps_per_sec: Option<f64>,
             #[serde(default)]
             par_events_per_sec: Option<f64>,
+            #[serde(default)]
+            gen_requests_per_sec: Option<f64>,
+            #[serde(default)]
+            scale_events_per_sec: Option<f64>,
         }
         let baseline: Baseline = serde_json::from_str(&std::fs::read_to_string(path)?)?;
         let floor = baseline.events_per_sec;
@@ -611,6 +663,46 @@ fn perf_smoke(
                  {par_threshold:.0} (baseline {par_floor:.0}, delta {par_delta_pct:+.1}%)"
             );
         }
+        if let Some(gen_floor) = baseline.gen_requests_per_sec {
+            let gen_threshold = 0.7 * gen_floor;
+            let gen_delta_pct = 100.0 * (gen_requests_per_sec / gen_floor - 1.0);
+            if gen_requests_per_sec < gen_threshold {
+                return Err(format!(
+                    "perf smoke regression: {gen_requests_per_sec:.0} streaming-generation \
+                     requests/sec is more than 30% below the baseline {gen_floor:.0} \
+                     (threshold {gen_threshold:.0}, delta {gen_delta_pct:+.1}%)"
+                )
+                .into());
+            }
+            println!(
+                "PERF_SMOKE_GEN_DELTA baseline={gen_floor:.0} measured={gen_requests_per_sec:.0} delta_pct={gen_delta_pct:+.1}"
+            );
+            eprintln!(
+                "perf smoke ok: {gen_requests_per_sec:.0} streaming-generation requests/sec \
+                 >= threshold {gen_threshold:.0} (baseline {gen_floor:.0}, delta \
+                 {gen_delta_pct:+.1}%)"
+            );
+        }
+        if let Some(scale_floor) = baseline.scale_events_per_sec {
+            let scale_threshold = 0.7 * scale_floor;
+            let scale_delta_pct = 100.0 * (scale_events_per_sec / scale_floor - 1.0);
+            if scale_events_per_sec < scale_threshold {
+                return Err(format!(
+                    "perf smoke regression: {scale_events_per_sec:.0} streaming-engine \
+                     events/sec is more than 30% below the baseline {scale_floor:.0} \
+                     (threshold {scale_threshold:.0}, delta {scale_delta_pct:+.1}%)"
+                )
+                .into());
+            }
+            println!(
+                "PERF_SMOKE_SCALE_DELTA baseline={scale_floor:.0} measured={scale_events_per_sec:.0} delta_pct={scale_delta_pct:+.1}"
+            );
+            eprintln!(
+                "perf smoke ok: {scale_events_per_sec:.0} streaming-engine events/sec >= \
+                 threshold {scale_threshold:.0} (baseline {scale_floor:.0}, delta \
+                 {scale_delta_pct:+.1}%)"
+            );
+        }
     }
     Ok(())
 }
@@ -621,7 +713,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|coding|perf-smoke> \
+                "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|coding|scale|perf-smoke> \
                  [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE] \
                  [--scheme repR|rs [--k K --m M]]"
             );

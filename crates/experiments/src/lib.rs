@@ -25,6 +25,7 @@
 //! | overload | [`overload`] | admission queueing, retries and brownouts under overload (A-6) |
 //! | controller | [`controller`] | online replication controller under intra-run drift (A-7) |
 //! | coding | [`coding`] | erasure-coded redundancy vs replication under faults (A-8) |
+//! | scale | [`scale`] | production-scale streaming world vs capacity bounds (A-9) |
 //!
 //! All simulation experiments average over seeded runs fanned out across
 //! OS threads ([`runner`]); outputs go to stdout as aligned tables and to
@@ -53,6 +54,7 @@ pub mod report;
 pub mod runner;
 pub mod sa;
 pub mod sa_multirate;
+pub mod scale;
 pub mod striping;
 
 pub use config::PaperSetup;

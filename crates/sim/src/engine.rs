@@ -31,8 +31,8 @@ use crate::time::SimTime;
 use vod_model::{
     BitRate, Catalog, ClusterSpec, Layout, ModelError, RedundancyMap, ServerId, VideoId,
 };
-use vod_telemetry::{Counter, Histogram, ShardInstrument, Telemetry};
-use vod_workload::{Request, Trace};
+use vod_telemetry::{Counter, Histogram, ShardInstrument, Span, Telemetry};
+use vod_workload::{ArrivalIter, ArrivalSource, Request, Trace};
 
 /// Epoch sentinel for departures that were already shed by a brownout:
 /// real epochs start at 0 and bump once per failure, so `u32::MAX` never
@@ -247,11 +247,21 @@ impl<'a> Simulation<'a> {
         let events_before = ct.events();
 
         let outcome = match self.decoupled_plan() {
-            Some(plan) => self.run_decoupled(trace, telemetry, &ct, &plan)?,
+            Some(plan) => {
+                // Workers iterate the one shared trace by borrowed
+                // slice — no per-shard request clone — and keep the
+                // arrivals their server group owns.
+                self.run_decoupled(telemetry, &ct, &plan, |_k| trace.requests().iter().copied())?
+            }
             None => {
                 let queue_shards = self.config.shards.min(self.cluster.len()).max(1);
-                let outcome =
-                    self.run_core(trace.requests(), telemetry, &ct, queue_shards, false)?;
+                let outcome = self.run_core(
+                    trace.requests().iter().copied(),
+                    telemetry,
+                    &ct,
+                    queue_shards,
+                    false,
+                )?;
                 if queue_shards > 1 {
                     // Cluster-scoped features forced the serial loop;
                     // per-shard telemetry still reports how the split
@@ -265,7 +275,74 @@ impl<'a> Simulation<'a> {
                 outcome
             }
         };
+        Ok(self.finish_run(telemetry, &span, &ct, events_before, outcome))
+    }
 
+    /// Replays a pull-based [`ArrivalSource`] and reports the outcome.
+    ///
+    /// The streaming twin of [`Simulation::run`]: arrivals are pulled
+    /// lazily and merged into the `(time, seq)` event order one at a
+    /// time, so the run's footprint is bounded by the concurrency peak
+    /// (plus the source's O(catalog) state), never by the trace length.
+    /// For a source that is draw-for-draw identical to a materialized
+    /// generator (see `vod_workload::arrival`), the report is identical
+    /// to running the materialized trace.
+    pub fn run_streaming<S>(&self, source: S) -> Result<SimReport, ModelError>
+    where
+        S: ArrivalSource + Clone + Send + Sync,
+    {
+        self.run_streaming_with_telemetry(source, &Telemetry::disabled())
+    }
+
+    /// [`Simulation::run_streaming`] with engine counters and timings
+    /// recorded into `telemetry` — the same instrument set as
+    /// [`Simulation::run_with_telemetry`].
+    pub fn run_streaming_with_telemetry<S>(
+        &self,
+        source: S,
+        telemetry: &Telemetry,
+    ) -> Result<SimReport, ModelError>
+    where
+        S: ArrivalSource + Clone + Send + Sync,
+    {
+        let span = telemetry.span("sim.run");
+        let ct = EngineCounters::new(telemetry);
+        let events_before = ct.events();
+        let outcome = match self.decoupled_plan() {
+            Some(plan) => {
+                // Each worker replays its own clone of the source (the
+                // stream is seed-deterministic, so every clone yields
+                // the identical sequence) and keeps only its shard's
+                // videos: O(1) trace memory at shards× generation CPU.
+                self.run_decoupled(telemetry, &ct, &plan, |_k| ArrivalIter(source.clone()))?
+            }
+            None => {
+                let queue_shards = self.config.shards.min(self.cluster.len()).max(1);
+                let outcome =
+                    self.run_core(ArrivalIter(source), telemetry, &ct, queue_shards, false)?;
+                if queue_shards > 1 {
+                    for (k, &pushes) in outcome.queue_pushes.iter().enumerate() {
+                        telemetry
+                            .shard_counter(ShardInstrument::Departures, k)
+                            .add(pushes);
+                    }
+                }
+                outcome
+            }
+        };
+        Ok(self.finish_run(telemetry, &span, &ct, events_before, outcome))
+    }
+
+    /// Post-run instrument tail shared by the materialized and
+    /// streaming entry points.
+    fn finish_run(
+        &self,
+        telemetry: &Telemetry,
+        span: &Span,
+        ct: &EngineCounters,
+        events_before: u64,
+        outcome: EngineOutcome,
+    ) -> SimReport {
         telemetry
             .counter("sim.admission_probes")
             .add(outcome.probes);
@@ -290,7 +367,7 @@ impl<'a> Simulation<'a> {
                     .observe(rate);
             }
         }
-        Ok(outcome.metrics.finish(self.config.horizon_min))
+        outcome.metrics.finish(self.config.horizon_min)
     }
 
     /// The server-group partition for the decoupled parallel path, or
@@ -335,32 +412,40 @@ impl<'a> Simulation<'a> {
     /// into the full cluster vector, which feeds the same
     /// [`MetricsCollector::sample_loads`] sequence the serial loop
     /// executes. The result is byte-identical to `shards: 1`.
-    fn run_decoupled(
+    fn run_decoupled<F, I>(
         &self,
-        trace: &Trace,
         telemetry: &Telemetry,
         ct: &EngineCounters,
         plan: &ShardPlan,
-    ) -> Result<EngineOutcome, ModelError> {
-        // Split the trace by owning video, preserving arrival order.
-        let mut sub_traces: Vec<Vec<Request>> = vec![Vec::new(); plan.n_shards];
-        for req in trace.requests() {
-            let shard = plan
-                .video_shard
-                .get(req.video.index())
-                .ok_or(ModelError::UnknownVideo(req.video))?;
-            sub_traces[*shard as usize].push(*req);
-        }
-        let results: Vec<Result<EngineOutcome, ModelError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = sub_traces
-                .iter()
-                .map(|requests| {
+        make_stream: F,
+    ) -> Result<EngineOutcome, ModelError>
+    where
+        F: Fn(usize) -> I + Sync,
+        I: Iterator<Item = Request>,
+    {
+        // No per-shard request clone: every worker walks the full
+        // arrival stream — a borrowed slice iterator over the shared
+        // trace, or a replayed clone of a streaming source — and keeps
+        // the requests its server group owns. Videos the plan does not
+        // map fall to shard 0, whose engine pass surfaces the same
+        // `UnknownVideo` error the old partition pre-pass raised.
+        let make_stream = &make_stream;
+        let results: Vec<Result<(EngineOutcome, u64), ModelError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.n_shards)
+                .map(|k| {
                     scope.spawn(move || {
                         // Each worker binds its own counter handles to
                         // the shared registry: cross-thread sums are
                         // exact, whatever the interleaving.
                         let ct = EngineCounters::new(telemetry);
-                        self.run_core(requests, telemetry, &ct, 1, true)
+                        let mut seen = 0u64;
+                        let owned = make_stream(k).inspect(|_| seen += 1).filter(|r: &Request| {
+                            plan.video_shard
+                                .get(r.video.index())
+                                .map_or(k == 0, |&s| s as usize == k)
+                        });
+                        let outcome = self.run_core(owned, telemetry, &ct, 1, true)?;
+                        Ok((outcome, seen))
                     })
                 })
                 .collect();
@@ -374,9 +459,20 @@ impl<'a> Simulation<'a> {
                 .collect()
         });
         let mut shards = Vec::with_capacity(results.len());
+        let mut seen_counts = Vec::with_capacity(results.len());
         for r in results {
-            shards.push(r?);
+            let (outcome, seen) = r?;
+            shards.push(outcome);
+            seen_counts.push(seen);
         }
+        // Every worker saw the same stream, so the pre-filter counts
+        // must agree — the cross-worker replay integrity check.
+        if seen_counts.windows(2).any(|w| w[0] != w[1]) {
+            return Err(ModelError::Internal {
+                context: "shard workers disagreed on the arrival stream length",
+            });
+        }
+        let total_seen = seen_counts.first().copied().unwrap_or(0);
 
         let mut merged = MetricsCollector::new(self.catalog.len());
         merged.record_series(self.config.record_series);
@@ -427,14 +523,13 @@ impl<'a> Simulation<'a> {
         // state after every event; the coordinator re-checks request
         // conservation over the merged ledger.
         let (arrivals, admitted, rejected, abandoned) = merged.outcome_totals();
-        if admitted + rejected + abandoned != arrivals || arrivals != trace.len() as u64 {
+        if admitted + rejected + abandoned != arrivals || arrivals != total_seen {
             return Err(ModelError::InvariantViolation {
                 at_min: self.config.horizon_min,
                 what: format!(
                     "sharded merge lost request outcomes: \
                      {admitted} admitted + {rejected} rejected + {abandoned} abandoned \
-                     != {arrivals} arrivals ({} in trace)",
-                    trace.len()
+                     != {arrivals} arrivals ({total_seen} in stream)"
                 ),
             });
         }
@@ -448,19 +543,25 @@ impl<'a> Simulation<'a> {
         })
     }
 
-    /// The serial event loop over `requests`, shared by the plain
-    /// engine (full trace, `capture_samples: false`) and the decoupled
-    /// workers (one server group's sub-trace, `capture_samples: true` —
-    /// load samples are logged raw for the coordinator's replay instead
-    /// of folded into the collector).
-    fn run_core(
+    /// The serial event loop over a pulled arrival stream, shared by
+    /// the plain engine (full trace or streaming source,
+    /// `capture_samples: false`) and the decoupled workers (one server
+    /// group's ownership-filtered view, `capture_samples: true` — load
+    /// samples are logged raw for the coordinator's replay instead of
+    /// folded into the collector). Arrivals are consumed lazily, one at
+    /// a time, merged against the `(time, seq)` event queue; the loop
+    /// never needs the stream's length or its backing storage.
+    fn run_core<I>(
         &self,
-        requests: &[Request],
+        requests: I,
         telemetry: &Telemetry,
         ct: &EngineCounters,
         queue_shards: usize,
         capture_samples: bool,
-    ) -> Result<EngineOutcome, ModelError> {
+    ) -> Result<EngineOutcome, ModelError>
+    where
+        I: Iterator<Item = Request>,
+    {
         // Fixed outages plus, when configured, the stochastic model's
         // draws for this horizon (deterministic per the model's seed).
         // The compiled plan is consumed, not cloned, and the fixed plan
@@ -535,6 +636,11 @@ impl<'a> Simulation<'a> {
             c
         });
 
+        // Hot per-video state, struct-of-arrays: the arrival loop reads
+        // one u32 rate word and one u32 duration word per request
+        // instead of chasing the catalog's full `Video` records.
+        let videos = VideoTable::new(self.catalog)?;
+
         let mut state = RunState {
             links: LinkState::new(self.cluster),
             dispatcher: Dispatcher::new(self.config.policy, self.catalog.len()),
@@ -571,15 +677,13 @@ impl<'a> Simulation<'a> {
             let t = SimTime::from_min(req.arrival_min);
             state.advance_to(t, ct)?;
 
-            let video = self
-                .catalog
-                .get(req.video)
+            let (kbps, duration_s) = videos
+                .get(req.video.index())
                 .ok_or(ModelError::UnknownVideo(req.video))?;
-            let kbps = video.bitrate.kbps() as u64;
 
             ct.arrivals.inc();
             state.metrics.on_arrival(req.video.index());
-            state.metrics.on_offered(kbps, video.duration_s);
+            state.metrics.on_offered(kbps, duration_s);
             if let Some(d) = state.drift.as_mut() {
                 // The controller senses *observed* offered demand, never
                 // the generator's true rates.
@@ -590,7 +694,7 @@ impl<'a> Simulation<'a> {
                 PendingRequest {
                     video: req.video,
                     kbps,
-                    duration_s: video.duration_s,
+                    duration_s,
                     arrived: t,
                     retries_left: self.config.admission.max_retries,
                     attempt: 0,
@@ -717,6 +821,15 @@ impl<'a> Simulation<'a> {
                 .counter("sim.brownout.active_min")
                 .add(state.brownout_min.ceil() as u64);
         }
+        if telemetry.is_enabled() && state.departures.peak_len() > 0 {
+            // Queue backing storage amortized over the concurrency
+            // peak: the marginal resident cost of one active stream.
+            // The memory-smoke CI step gates on this staying under the
+            // ceiling documented in DESIGN.md §7.
+            telemetry
+                .histogram("sim.engine.bytes_per_active_stream")
+                .observe(state.departures.mem_bytes() as f64 / state.departures.peak_len() as f64);
+        }
         Ok(EngineOutcome {
             samples: state.sample_log.take().unwrap_or_default(),
             probes: state.dispatcher.admission_probes(),
@@ -724,6 +837,39 @@ impl<'a> Simulation<'a> {
             queue_pushes: state.departures.per_shard_pushes().to_vec(),
             metrics: state.metrics,
         })
+    }
+}
+
+/// Struct-of-arrays view of the catalog's hot per-video words: one u32
+/// rate and one u32 duration per title (a 20k-video catalog fits in
+/// 160 KiB — resident in L2 for the whole run). Built once per engine
+/// pass; the arrival loop indexes it instead of the catalog.
+struct VideoTable {
+    kbps: Vec<u32>,
+    duration_s: Vec<u32>,
+}
+
+impl VideoTable {
+    fn new(catalog: &Catalog) -> Result<Self, ModelError> {
+        let mut kbps = Vec::with_capacity(catalog.len());
+        let mut duration_s = Vec::with_capacity(catalog.len());
+        for v in catalog.videos() {
+            let d = u32::try_from(v.duration_s).map_err(|_| ModelError::InvalidParameter {
+                name: "duration_s (exceeds u32)",
+                value: v.duration_s as f64,
+            })?;
+            kbps.push(v.bitrate.kbps());
+            duration_s.push(d);
+        }
+        Ok(VideoTable { kbps, duration_s })
+    }
+
+    /// `(kbps, duration_s)` of video `i`, widened for the admission
+    /// arithmetic; `None` for out-of-catalog ids.
+    #[inline]
+    fn get(&self, i: usize) -> Option<(u64, u64)> {
+        let k = *self.kbps.get(i)?;
+        Some((k as u64, self.duration_s[i] as u64))
     }
 }
 

@@ -60,10 +60,15 @@ const ARITY: usize = 4;
 /// links in the owning server's intrusive list. The `(at, seq)` ordering
 /// key lives in the heap entry itself (comparison locality), not here;
 /// free slots are chained through `next`.
+///
+/// Bandwidth words are packed to `u32` (a stream rate in kbps tops out
+/// in the tens of thousands; `u32` holds 4 Tbps): nine `u32` words, 36
+/// bytes per active stream in the slab against the public
+/// [`Departure`]'s 48. The widening back to `u64` happens on pop.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
-    kbps: u64,
-    backbone_kbps: u64,
+    kbps: u32,
+    backbone_kbps: u32,
     server: ServerId,
     video: VideoId,
     epoch: u32,
@@ -149,9 +154,13 @@ impl DepartureQueue {
         }
         self.seq = self.seq.max(seq + 1);
         let head = self.server_head[j];
+        debug_assert!(
+            d.kbps <= u32::MAX as u64 && d.backbone_kbps <= u32::MAX as u64,
+            "stream rate exceeds the packed u32 slab word"
+        );
         let slot = Slot {
-            kbps: d.kbps,
-            backbone_kbps: d.backbone_kbps,
+            kbps: d.kbps as u32,
+            backbone_kbps: d.backbone_kbps as u32,
             server: d.server,
             video: d.video,
             epoch: d.epoch,
@@ -296,11 +305,21 @@ impl DepartureQueue {
             at,
             server: slot.server,
             video: slot.video,
-            kbps: slot.kbps,
-            backbone_kbps: slot.backbone_kbps,
+            kbps: slot.kbps as u64,
+            backbone_kbps: slot.backbone_kbps as u64,
             epoch: slot.epoch,
             stream: slot.stream,
         }
+    }
+
+    /// Resident bytes of this queue's backing storage (slab, heap, list
+    /// heads, scratch) — the feed for the engine's bytes-per-active-
+    /// stream accounting.
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.heap.capacity() * std::mem::size_of::<HeapEntry>()
+            + self.server_head.capacity() * std::mem::size_of::<u32>()
+            + self.extract_scratch.capacity() * std::mem::size_of::<(SimTime, u64, Departure)>()
     }
 
     /// Hole-shifting sift toward the root: parents slide down until the
@@ -501,6 +520,17 @@ impl ShardedDepartureQueue {
     /// Pushes routed to each sub-queue over this queue's lifetime.
     pub fn per_shard_pushes(&self) -> &[u64] {
         &self.pushes
+    }
+
+    /// Resident bytes across all sub-queues plus the owner map — see
+    /// [`DepartureQueue::mem_bytes`].
+    pub fn mem_bytes(&self) -> usize {
+        self.queues
+            .iter()
+            .map(DepartureQueue::mem_bytes)
+            .sum::<usize>()
+            + self.owner.capacity() * std::mem::size_of::<u32>()
+            + self.pushes.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -760,6 +790,46 @@ mod tests {
         assert_eq!(q.n_shards(), 2);
         let q = ShardedDepartureQueue::new(5, 0);
         assert_eq!(q.n_shards(), 1);
+    }
+
+    #[test]
+    fn slot_stays_packed() {
+        // The slab word is the dominant per-active-stream cost; keep it
+        // at nine u32 words (the memory-smoke ceiling is sized to it).
+        assert_eq!(std::mem::size_of::<Slot>(), 36);
+        assert_eq!(std::mem::size_of::<HeapEntry>(), 24);
+    }
+
+    #[test]
+    fn mem_bytes_tracks_backing_storage() {
+        let mut q = DepartureQueue::new();
+        assert_eq!(q.mem_bytes(), 0);
+        for at in 0..100 {
+            q.push(dep(at, 0));
+        }
+        let bytes = q.mem_bytes();
+        assert!(bytes >= 100 * (std::mem::size_of::<Slot>() + std::mem::size_of::<HeapEntry>()));
+        // Draining frees no capacity: the slab is reused, so the
+        // footprint is set by the concurrency peak, not the run length.
+        while q.pop_due(SimTime(u64::MAX)).is_some() {}
+        assert_eq!(q.mem_bytes(), bytes);
+
+        let mut sq = ShardedDepartureQueue::new(8, 4);
+        sq.push(dep(10, 0));
+        assert!(sq.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn wide_rates_roundtrip_through_the_packed_slab() {
+        let mut q = DepartureQueue::new();
+        q.push(Departure {
+            kbps: u32::MAX as u64,
+            backbone_kbps: 123_456,
+            ..dep(10, 0)
+        });
+        let d = q.pop_due(SimTime(10)).unwrap();
+        assert_eq!(d.kbps, u32::MAX as u64);
+        assert_eq!(d.backbone_kbps, 123_456);
     }
 
     #[test]

@@ -40,6 +40,20 @@ impl Trace {
         Ok(Trace { requests })
     }
 
+    /// Builds a trace from requests already known to be time-ordered —
+    /// the generators emit in order, so re-validating is wasted work on
+    /// hot paths. Ordering is debug-asserted; in release an unsorted
+    /// input is the caller's bug.
+    pub fn from_sorted_unchecked(requests: Vec<Request>) -> Self {
+        debug_assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_min <= w[1].arrival_min),
+            "from_sorted_unchecked given an unsorted request sequence"
+        );
+        Trace { requests }
+    }
+
     /// The requests, ascending in time.
     #[inline]
     pub fn requests(&self) -> &[Request] {
@@ -124,6 +138,18 @@ impl TraceGenerator {
     #[inline]
     pub fn horizon_min(&self) -> f64 {
         self.horizon_min
+    }
+
+    /// The arrival process (streaming twin internals).
+    #[inline]
+    pub(crate) fn process(&self) -> &PoissonProcess {
+        &self.process
+    }
+
+    /// The video sampler (streaming twin internals).
+    #[inline]
+    pub(crate) fn sampler(&self) -> &ZipfSampler {
+        &self.sampler
     }
 
     /// Generates one trace.
