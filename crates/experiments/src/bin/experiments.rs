@@ -37,6 +37,15 @@
 //! flags:
 //!   --shards N      engine shards per simulation (default 1; reports are
 //!                   byte-identical at any shard count — CI diffs them)
+//!   --window-min-events N  smallest arrival count worth a parallel window
+//!                   on the coupled sharded path (default 32; smaller opens
+//!                   more windows, larger coalesces more into the serial
+//!                   loop — reports are identical either way)
+//!   --window-max-span MIN  longest window the coupled sharded path may
+//!                   execute between barriers, in simulated minutes
+//!                   (default 5)
+//!   --no-window     disable windowed execution: shards > 1 falls back to
+//!                   the serial coupled loop whenever the run couples
 //!   --metrics FILE  append one JSONL run-manifest record per experiment
 //!   --check FILE    perf-smoke only: fail if events/sec, SA steps/sec,
 //!                   parallel events/sec, streaming-generation
@@ -79,6 +88,9 @@ struct Args {
     metrics: Option<String>,
     check: Option<String>,
     scheme: Option<RedundancyScheme>,
+    window_min_events: Option<u32>,
+    window_max_span: Option<f64>,
+    no_window: bool,
 }
 
 /// Largest sensible `--shards`: the engine merges per-shard results, so
@@ -89,6 +101,11 @@ const MAX_SHARDS: usize = 256;
 /// Largest sensible `--runs`: each run is a full 90-minute simulation;
 /// five digits of replications is a typo, not an experiment.
 const MAX_RUNS: u32 = 10_000;
+
+/// Largest sensible `--window-min-events`: no trace in the suite holds
+/// a million arrivals, so anything beyond this coalesces every window
+/// and is certainly a typo'd flag, not a tuning choice.
+const MAX_WINDOW_MIN_EVENTS: u32 = 1_000_000;
 
 fn parse_args() -> Result<Args, String> {
     parse_from(std::env::args().skip(1))
@@ -105,6 +122,9 @@ fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics: None,
         check: None,
         scheme: None,
+        window_min_events: None,
+        window_max_span: None,
+        no_window: false,
     };
     let mut scheme_flag: Option<String> = None;
     let mut k_flag: Option<u32> = None;
@@ -147,6 +167,43 @@ fn parse_from(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
                     ));
                 }
                 args.shards = Some(shards);
+            }
+            "--no-window" => args.no_window = true,
+            "--window-min-events" => {
+                let v = iter.next().ok_or("--window-min-events needs a value")?;
+                let n: u32 = v.parse().map_err(|_| {
+                    format!("bad --window-min-events value `{v}`: expected a positive integer")
+                })?;
+                if n == 0 {
+                    return Err("--window-min-events 0 would open windows with nothing in \
+                                them; pass a positive event count (1 opens every window)"
+                        .into());
+                }
+                if n > MAX_WINDOW_MIN_EVENTS {
+                    return Err(format!(
+                        "--window-min-events {n} exceeds the sanity cap of \
+                         {MAX_WINDOW_MIN_EVENTS}; every window would coalesce into the \
+                         serial loop — did a flag value go astray?"
+                    ));
+                }
+                args.window_min_events = Some(n);
+            }
+            "--window-max-span" => {
+                let v = iter.next().ok_or("--window-max-span needs a value")?;
+                let span: f64 = v.parse().map_err(|_| {
+                    format!(
+                        "bad --window-max-span value `{v}`: expected a positive number \
+                         of simulated minutes"
+                    )
+                })?;
+                if !span.is_finite() || span <= 0.0 {
+                    return Err(format!(
+                        "--window-max-span {v} is not a usable horizon: pass a positive, \
+                         finite number of simulated minutes (windows need room to hold \
+                         at least one event)"
+                    ));
+                }
+                args.window_max_span = Some(span);
             }
             "--out" => {
                 let v = iter.next().ok_or("--out needs a value")?;
@@ -371,14 +428,41 @@ fn manifest_record(
 /// events/sec of the sharded engine. Returns
 /// `(events, secs, events_per_sec)`.
 fn par_perf_measurement() -> Result<(u64, f64, f64), Box<dyn std::error::Error>> {
+    const SHARDS: usize = 8;
+    let (catalog, cluster, layout, trace) = pods_perf_world()?;
+    let cfg = |shards| SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let serial = Simulation::new(&catalog, &cluster, &layout, cfg(1))?;
+    let sharded = Simulation::new(&catalog, &cluster, &layout, cfg(SHARDS))?;
+    let a = serial.run(&trace)?;
+    let b = sharded.run(&trace)?;
+    if serde_json::to_string(&a)? != serde_json::to_string(&b)? {
+        return Err("perf smoke: sharded report diverged from the serial report".into());
+    }
+    let telemetry = Telemetry::enabled();
+    let started = Instant::now();
+    let mut iterations = 0u32;
+    while iterations < 2 || started.elapsed().as_secs_f64() < 0.5 {
+        std::hint::black_box(sharded.run_with_telemetry(&trace, &telemetry)?);
+        iterations += 1;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let events = telemetry.snapshot().counter("sim.events");
+    Ok((events, secs, events as f64 / secs))
+}
+
+/// The pods world both engine-throughput measurements run on: 32
+/// independent pods of 8 servers, every replica set inside one pod,
+/// 10-minute MPEG-2 videos on 40 Mbps links (10 concurrent streams per
+/// server — busy but unsaturated), 20k arrivals spread evenly over the
+/// 90-minute horizon cycling the whole catalog.
+fn pods_perf_world() -> Result<(Catalog, ClusterSpec, Layout, Trace), Box<dyn std::error::Error>> {
     const PODS: usize = 32;
     const PER_POD: usize = 8;
-    const SHARDS: usize = 8;
     let n_servers = PODS * PER_POD;
     let n_videos = n_servers;
-    // 10-minute MPEG-2 videos on 40 Mbps links: 10 concurrent streams
-    // per server, so the workload below keeps every pod busy without
-    // saturating it.
     let catalog = Catalog::fixed_rate(n_videos, BitRate::MPEG2, 600)?;
     let cluster = ClusterSpec::homogeneous(
         n_servers,
@@ -411,22 +495,64 @@ fn par_perf_measurement() -> Result<(u64, f64, f64), Box<dyn std::error::Error>>
             })
             .collect(),
     )?;
-    let cfg = |shards| SimConfig {
-        shards,
-        ..SimConfig::default()
+    Ok((catalog, cluster, layout, trace))
+}
+
+/// Coupled-path throughput measurement: the same pods world with one
+/// mid-run outage, which forces the *coupled* engine loop — the
+/// decoupled per-pod fan-out is ineligible, so `shards = 8` exercises
+/// the bounded-lookahead windowed executor (DESIGN.md §7). Asserts the
+/// serial and windowed reports are byte-identical and that real windows
+/// opened, then measures events/sec of the windowed engine. Returns
+/// `(events, secs, events_per_sec)`.
+fn coupled_par_perf_measurement() -> Result<(u64, f64, f64), Box<dyn std::error::Error>> {
+    const SHARDS: usize = 8;
+    let (catalog, cluster, layout, trace) = pods_perf_world()?;
+    let outage = || {
+        vod_sim::FailurePlan::new(vec![vod_sim::Outage {
+            server: ServerId(3),
+            down_at_min: 30.0,
+            up_at_min: Some(60.0),
+        }])
+        .expect("valid outage")
     };
-    let serial = Simulation::new(&catalog, &cluster, &layout, cfg(1))?;
-    let sharded = Simulation::new(&catalog, &cluster, &layout, cfg(SHARDS))?;
+    let serial = Simulation::new(
+        &catalog,
+        &cluster,
+        &layout,
+        SimConfig {
+            failures: outage(),
+            ..SimConfig::default()
+        },
+    )?;
+    let windowed = Simulation::new(
+        &catalog,
+        &cluster,
+        &layout,
+        SimConfig {
+            failures: outage(),
+            shards: SHARDS,
+            ..SimConfig::default()
+        },
+    )?;
     let a = serial.run(&trace)?;
-    let b = sharded.run(&trace)?;
+    let check = Telemetry::enabled();
+    let b = windowed.run_with_telemetry(&trace, &check)?;
     if serde_json::to_string(&a)? != serde_json::to_string(&b)? {
-        return Err("perf smoke: sharded report diverged from the serial report".into());
+        return Err("perf smoke: windowed coupled report diverged from the serial report".into());
+    }
+    if check.snapshot().counter("sim.window.windows") == 0 {
+        return Err(
+            "perf smoke: the coupled measurement never opened a window — the \
+                    figure would measure the serial fallback, not the windowed engine"
+                .into(),
+        );
     }
     let telemetry = Telemetry::enabled();
     let started = Instant::now();
     let mut iterations = 0u32;
     while iterations < 2 || started.elapsed().as_secs_f64() < 0.5 {
-        std::hint::black_box(sharded.run_with_telemetry(&trace, &telemetry)?);
+        std::hint::black_box(windowed.run_with_telemetry(&trace, &telemetry)?);
         iterations += 1;
     }
     let secs = started.elapsed().as_secs_f64();
@@ -518,6 +644,10 @@ fn perf_smoke(
     // against the serial engine is asserted inside).
     let (par_events, par_secs, par_events_per_sec) = par_perf_measurement()?;
 
+    // Coupled windowed-engine measurement (same world plus an outage,
+    // so the bounded-lookahead windowed path carries the run).
+    let (coupled_events, coupled_secs, coupled_events_per_sec) = coupled_par_perf_measurement()?;
+
     // Streaming-generation measurement: requests/sec pulled from the
     // thinned arrival source of the mini scale world, including the
     // per-stream construction pre-pass (each iteration rebuilds the
@@ -567,11 +697,13 @@ fn perf_smoke(
          requests_per_sec={requests_per_sec:.0} rejection_rate={rejection_rate:.4} \
          sa_steps={sa_steps} sa_steps_per_sec={sa_steps_per_sec:.0} \
          par_events={par_events} par_events_per_sec={par_events_per_sec:.0} \
+         coupled_par_events={coupled_events} \
+         coupled_par_events_per_sec={coupled_events_per_sec:.0} \
          gen_requests={gen_requests} gen_requests_per_sec={gen_requests_per_sec:.0} \
          scale_events={scale_events} scale_events_per_sec={scale_events_per_sec:.0} \
          plan_secs={plan_secs:.3} sim_secs={sim_secs:.3} sa_secs={sa_secs:.3} \
-         par_secs={par_secs:.3} gen_secs={gen_secs:.3} scale_secs={scale_secs:.3} \
-         wall_secs={wall_secs:.3}",
+         par_secs={par_secs:.3} coupled_par_secs={coupled_secs:.3} gen_secs={gen_secs:.3} \
+         scale_secs={scale_secs:.3} wall_secs={wall_secs:.3}",
         setup.n_servers, setup.n_videos, setup.runs,
     );
 
@@ -582,6 +714,7 @@ fn perf_smoke(
             .phase("simulate", sim_secs)
             .phase("anneal", sa_secs)
             .phase("par_simulate", par_secs)
+            .phase("coupled_par_simulate", coupled_secs)
             .phase("generate", gen_secs)
             .phase("scale_simulate", scale_secs)
             // Override the wall-clock-derived figures with the
@@ -589,6 +722,7 @@ fn perf_smoke(
             // phase).
             .rate("sa_steps_per_sec", sa_steps_per_sec)
             .rate("par_events_per_sec", par_events_per_sec)
+            .rate("coupled_par_events_per_sec", coupled_events_per_sec)
             .rate("gen_requests_per_sec", gen_requests_per_sec)
             .rate("scale_events_per_sec", scale_events_per_sec);
         ManifestWriter::append_to(path)?.write(&record)?;
@@ -602,6 +736,8 @@ fn perf_smoke(
             sa_steps_per_sec: Option<f64>,
             #[serde(default)]
             par_events_per_sec: Option<f64>,
+            #[serde(default)]
+            coupled_par_events_per_sec: Option<f64>,
             #[serde(default)]
             gen_requests_per_sec: Option<f64>,
             #[serde(default)]
@@ -663,6 +799,26 @@ fn perf_smoke(
                  {par_threshold:.0} (baseline {par_floor:.0}, delta {par_delta_pct:+.1}%)"
             );
         }
+        if let Some(coupled_floor) = baseline.coupled_par_events_per_sec {
+            let coupled_threshold = 0.7 * coupled_floor;
+            let coupled_delta_pct = 100.0 * (coupled_events_per_sec / coupled_floor - 1.0);
+            if coupled_events_per_sec < coupled_threshold {
+                return Err(format!(
+                    "perf smoke regression: {coupled_events_per_sec:.0} coupled windowed \
+                     events/sec is more than 30% below the baseline {coupled_floor:.0} \
+                     (threshold {coupled_threshold:.0}, delta {coupled_delta_pct:+.1}%)"
+                )
+                .into());
+            }
+            println!(
+                "PERF_SMOKE_COUPLED_DELTA baseline={coupled_floor:.0} measured={coupled_events_per_sec:.0} delta_pct={coupled_delta_pct:+.1}"
+            );
+            eprintln!(
+                "perf smoke ok: {coupled_events_per_sec:.0} coupled windowed events/sec >= \
+                 threshold {coupled_threshold:.0} (baseline {coupled_floor:.0}, delta \
+                 {coupled_delta_pct:+.1}%)"
+            );
+        }
         if let Some(gen_floor) = baseline.gen_requests_per_sec {
             let gen_threshold = 0.7 * gen_floor;
             let gen_delta_pct = 100.0 * (gen_requests_per_sec / gen_floor - 1.0);
@@ -714,7 +870,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments <all|fig1..fig6|quality|bound|sa|sa2|ablation|availability|drift|recovery|striping|overload|controller|coding|scale|perf-smoke> \
-                 [--fast] [--runs N] [--shards N] [--out DIR] [--no-files] [--metrics FILE] [--check FILE] \
+                 [--fast] [--runs N] [--shards N] [--window-min-events N] [--window-max-span MIN] \
+                 [--no-window] [--out DIR] [--no-files] [--metrics FILE] [--check FILE] \
                  [--scheme repR|rs [--k K --m M]]"
             );
             return ExitCode::FAILURE;
@@ -731,6 +888,15 @@ fn main() -> ExitCode {
     }
     if let Some(shards) = args.shards {
         setup.shards = shards;
+    }
+    if args.no_window {
+        setup.window.enabled = false;
+    }
+    if let Some(n) = args.window_min_events {
+        setup.window.min_events = n;
+    }
+    if let Some(span) = args.window_max_span {
+        setup.window.max_span_min = span;
     }
 
     let base_reporter = if args.no_files {
@@ -902,6 +1068,51 @@ mod tests {
         assert!(e.contains("--out"), "{e}");
         let e = parse(&["--metrics", ""]).unwrap_err();
         assert!(e.contains("--metrics"), "{e}");
+    }
+
+    #[test]
+    fn window_knobs_parse() {
+        let a = parse(&[
+            "recovery",
+            "--shards",
+            "8",
+            "--window-min-events",
+            "2",
+            "--window-max-span",
+            "0.5",
+        ])
+        .unwrap();
+        assert_eq!(a.window_min_events, Some(2));
+        assert_eq!(a.window_max_span, Some(0.5));
+        assert!(!a.no_window);
+        let a = parse(&["recovery", "--no-window"]).unwrap();
+        assert!(a.no_window);
+        assert!(a.window_min_events.is_none() && a.window_max_span.is_none());
+    }
+
+    #[test]
+    fn degenerate_window_knobs_get_actionable_errors() {
+        let e = parse(&["--window-min-events", "0"]).unwrap_err();
+        assert!(e.contains("--window-min-events 0"), "{e}");
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(&["--window-min-events", "lots"]).unwrap_err();
+        assert!(
+            e.contains("--window-min-events") && e.contains("lots"),
+            "{e}"
+        );
+        let e = parse(&["--window-min-events", "2000000"]).unwrap_err();
+        assert!(e.contains("sanity cap"), "{e}");
+        for bad in ["0", "-3", "NaN", "inf"] {
+            let e = parse(&["--window-max-span", bad]).unwrap_err();
+            assert!(
+                e.contains("--window-max-span") && e.contains("positive"),
+                "`{bad}` -> {e}"
+            );
+        }
+        let e = parse(&["--window-max-span", "soon"]).unwrap_err();
+        assert!(e.contains("soon") && e.contains("minutes"), "{e}");
+        assert!(parse(&["--window-min-events"]).is_err());
+        assert!(parse(&["--window-max-span"]).is_err());
     }
 
     #[test]

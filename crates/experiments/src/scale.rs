@@ -330,6 +330,7 @@ pub fn compute(world: &ScaleWorld, seed: u64) -> Result<ScaleOutcome, Box<dyn st
         sample_interval_min: (setup.horizon_min / 288.0).max(0.25),
         record_series: true,
         shards: setup.shards,
+        window: setup.window,
         ..SimConfig::default()
     };
     let sim = Simulation::new(

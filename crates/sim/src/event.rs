@@ -273,6 +273,14 @@ impl DepartureQueue {
         self.peak_len
     }
 
+    /// The next sequence number this queue would hand out — the
+    /// high-water mark of every seq it has seen, plus one. A sharded
+    /// wrapper reads this when a checked-out sub-queue comes back, to
+    /// advance its own global counter past everything the worker pushed.
+    pub(crate) fn seq_watermark(&self) -> u64 {
+        self.seq
+    }
+
     /// Removes slot `h` from the heap and its server list, frees it, and
     /// returns its departure.
     fn remove(&mut self, h: u32) -> Departure {
@@ -417,6 +425,31 @@ impl ShardedDepartureQueue {
         }
     }
 
+    /// A queue bank over an explicit owner map: server `j` goes to
+    /// sub-queue `owner[j]`, which must be `< shards`. The windowed
+    /// coupled engine uses this to align sub-queues with the
+    /// [`crate::shard::ShardPlan`] groups so each worker owns exactly
+    /// one sub-queue. Pop order is owner-map independent (the global
+    /// `(time, sequence)` minimum), so swapping the partition never
+    /// changes what a run observes — only per-shard telemetry shapes.
+    pub(crate) fn with_owner(owner: Vec<u32>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        debug_assert!(owner.iter().all(|&s| (s as usize) < shards));
+        let mut queues = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let servers_in = owner.iter().filter(|&&o| o == s as u32).count();
+            queues.push(DepartureQueue::with_capacity(servers_in.max(1)));
+        }
+        ShardedDepartureQueue {
+            queues,
+            owner,
+            seq: 0,
+            len: 0,
+            peak_len: 0,
+            pushes: vec![0; shards],
+        }
+    }
+
     /// Number of sub-queues.
     pub fn n_shards(&self) -> usize {
         self.queues.len()
@@ -520,6 +553,41 @@ impl ShardedDepartureQueue {
     /// Pushes routed to each sub-queue over this queue's lifetime.
     pub fn per_shard_pushes(&self) -> &[u64] {
         &self.pushes
+    }
+
+    /// Reserves `n` consecutive global sequence numbers and returns the
+    /// first. The windowed engine pre-assigns one seq per window
+    /// arrival in global arrival order, so departures pushed by
+    /// parallel workers carry exactly the keys the serial loop would
+    /// have drawn; rejected arrivals leave gaps, which is harmless —
+    /// only relative order is observable.
+    pub(crate) fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let base = self.seq;
+        self.seq += n;
+        base
+    }
+
+    /// Checks sub-queue `k` out for exclusive use by a window worker.
+    /// Its departures leave the bank's accounting until
+    /// [`Self::put_shard`] returns it.
+    pub(crate) fn take_shard(&mut self, k: usize) -> DepartureQueue {
+        let q = std::mem::take(&mut self.queues[k]);
+        self.len -= q.len();
+        q
+    }
+
+    /// Returns a checked-out sub-queue, folding the worker's pushes
+    /// into telemetry and advancing the global sequence counter past
+    /// everything the worker assigned. `peak_len` is refreshed from the
+    /// post-merge total — within a window it is approximate (workers
+    /// pop and push concurrently), which only affects the
+    /// `sim.queue.peak_len` gauge, never a report.
+    pub(crate) fn put_shard(&mut self, k: usize, q: DepartureQueue, pushes: u64) {
+        self.len += q.len();
+        self.pushes[k] += pushes;
+        self.seq = self.seq.max(q.seq_watermark());
+        self.queues[k] = q;
+        self.peak_len = self.peak_len.max(self.len);
     }
 
     /// Resident bytes across all sub-queues plus the owner map — see
@@ -782,6 +850,32 @@ mod tests {
         }
         let servers: Vec<u32> = q.drain_all().iter().map(|d| d.server.0).collect();
         assert_eq!(servers, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn with_owner_routes_by_explicit_map_and_checkout_roundtrips() {
+        // Interleaved ownership (servers 0,2 -> shard 0; 1,3 -> shard 1)
+        // that the contiguous block partition could never produce.
+        let mut q = ShardedDepartureQueue::with_owner(vec![0, 1, 0, 1], 2);
+        assert_eq!(q.n_shards(), 2);
+        for server in 0..4u32 {
+            q.push(dep(10 + server as u64, server));
+        }
+        assert_eq!(q.per_shard_pushes(), &[2, 2]);
+        // Check shard 1 out, push under reserved seqs, return it.
+        let base = q.reserve_seqs(2);
+        assert_eq!(base, 4);
+        let mut sub = q.take_shard(1);
+        assert_eq!(q.len(), 2);
+        sub.push_with_seq(dep(5, 3), base + 1);
+        q.put_shard(1, sub, 1);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.per_shard_pushes(), &[2, 3]);
+        // Global counter advanced past the reservation: the next direct
+        // push stays unique.
+        q.push(dep(50, 0));
+        let order: Vec<u64> = q.drain_all().iter().map(|d| d.at.ticks()).collect();
+        assert_eq!(order, vec![5, 10, 11, 12, 13, 50]);
     }
 
     #[test]

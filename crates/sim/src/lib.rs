@@ -95,7 +95,7 @@ pub mod time;
 pub use admission::{AdmissionConfig, QueuePolicy};
 pub use controller::ControllerConfig;
 pub use dispatch::AdmissionPolicy;
-pub use engine::{SimConfig, Simulation};
+pub use engine::{SimConfig, Simulation, WindowConfig};
 pub use failure::{Brownout, BrownoutModel, FailureModel, FailurePlan, Outage, RackFailures};
 pub use metrics::SimReport;
 pub use repair::{FailoverPolicy, RepairConfig};

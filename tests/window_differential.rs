@@ -1,40 +1,38 @@
-//! Differential property test for the sharded engine: random worlds,
-//! workloads and failure/brownout schedules driven through `shards = 1`
-//! and `shards ∈ {2, 4, 8}` must produce identical [`SimReport`]s —
-//! compared as serialized JSON, so every field participates — and
-//! identical telemetry counter totals (the per-shard `sim.shard.*`
-//! counters excepted: their *placement* depends on the shard count by
-//! design, only their existence does not).
+//! Differential property test for the bounded-lookahead windowed
+//! executor (DESIGN.md §7): random pod-structured worlds driven through
+//! the *coupled* engine path — stochastic failures and brownouts,
+//! queueing admission, the online replication controller — must produce
+//! byte-identical [`SimReport`]s whether the run is serial (`shards =
+//! 1`, windowing off) or windowed (`shards ∈ {2, 4, 8}`, `min_events:
+//! 1` so every eligible window opens). Reports are compared as
+//! serialized JSON so every field participates, and telemetry counter
+//! totals must agree modulo the shard-count-dependent `sim.shard.*` /
+//! `sim.window.*` groups.
 //!
-//! The generator deliberately covers both engine paths:
-//!
-//! * pod-structured layouts with passive admission and no failures take
-//!   the decoupled parallel path (one mini-engine per server group,
-//!   merged deterministically);
-//! * connected layouts, injected outages, stochastic failure/brownout
-//!   models, queueing admission, and backbone redirection all force the
-//!   coupled fallback (the serial loop over the sharded event queue).
+//! Unlike `shard_differential` (which also covers the decoupled path
+//! and ineligible policies), every scenario here keeps the windowed
+//! wrapper live: policies stay in the window-eligible set and a
+//! coupling feature (failures, queueing, controller) is always present,
+//! so the case would take the serial coupled loop without windowing.
 
 use proptest::prelude::*;
 use proptest::TestRng;
 use rand::Rng;
 use vod_model::{BitRate, Catalog, ClusterSpec, Layout, ServerId, ServerSpec, VideoId};
 use vod_sim::{
-    AdmissionConfig, AdmissionPolicy, BrownoutModel, FailoverPolicy, FailureModel, FailurePlan,
-    Outage, QueuePolicy, RepairConfig, SimConfig, Simulation,
+    AdmissionConfig, AdmissionPolicy, BrownoutModel, ControllerConfig, FailoverPolicy,
+    FailureModel, FailurePlan, Outage, QueuePolicy, RepairConfig, SimConfig, Simulation,
+    WindowConfig,
 };
 use vod_telemetry::Telemetry;
 use vod_workload::{Request, Trace};
 
-/// Everything that defines one differential case.
+/// Everything that defines one windowed-vs-serial case.
 #[derive(Debug, Clone)]
 struct Scenario {
     n_pods: usize,
     servers_per_pod: usize,
     videos_per_pod: usize,
-    /// A video replicated across pod boundaries glues the replica graph
-    /// together (forces the coupled path even without failures).
-    bridge_video: bool,
     bandwidth_kbps: u64,
     duration_s: u64,
     policy: AdmissionPolicy,
@@ -43,8 +41,10 @@ struct Scenario {
     failure_model: Option<FailureModel>,
     failover: FailoverPolicy,
     repair: RepairConfig,
+    controller: bool,
     audit: bool,
     shards: usize,
+    max_span_min: f64,
     arrivals: Vec<Request>,
 }
 
@@ -54,7 +54,7 @@ impl Scenario {
     }
 
     fn n_videos(&self) -> usize {
-        self.n_pods * self.videos_per_pod + usize::from(self.bridge_video)
+        self.n_pods * self.videos_per_pod
     }
 
     fn world(&self) -> (Catalog, ClusterSpec, Layout) {
@@ -68,11 +68,12 @@ impl Scenario {
             },
         )
         .expect("valid cluster");
+        // Pod-structured replica sets: the graph partitions, so the
+        // window plan has >1 server group and the wrapper can engage.
         let mut replicas: Vec<Vec<ServerId>> = Vec::with_capacity(self.n_videos());
-        for v in 0..self.n_pods * self.videos_per_pod {
+        for v in 0..self.n_videos() {
             let pod = v % self.n_pods;
             let base = pod * self.servers_per_pod;
-            // Each pod video sits on up to two servers of its own pod.
             let first = base + v % self.servers_per_pod;
             let mut set = vec![ServerId(first as u32)];
             if self.servers_per_pod > 1 {
@@ -81,16 +82,11 @@ impl Scenario {
             }
             replicas.push(set);
         }
-        if self.bridge_video {
-            // One replica in the first and one in the last pod.
-            let last_base = (self.n_pods - 1) * self.servers_per_pod;
-            replicas.push(vec![ServerId(0), ServerId(last_base as u32)]);
-        }
         let layout = Layout::new(self.n_servers(), replicas).expect("valid layout");
         (catalog, cluster, layout)
     }
 
-    fn config(&self, shards: usize) -> SimConfig {
+    fn config(&self, shards: usize, window: WindowConfig) -> SimConfig {
         SimConfig {
             policy: self.policy,
             failures: self.failures.clone(),
@@ -98,18 +94,27 @@ impl Scenario {
             failover: self.failover,
             repair: self.repair,
             admission: self.admission.clone(),
+            controller: if self.controller {
+                ControllerConfig {
+                    tick_min: 5.0,
+                    ..ControllerConfig::default()
+                }
+            } else {
+                ControllerConfig::default()
+            },
             audit: self.audit,
             shards,
+            window,
             ..SimConfig::default()
         }
     }
 }
 
-/// Scenario generator. Domains are small on purpose: few servers with
-/// one-to-four stream links force admission contention, short videos
-/// force departure/arrival interleaving, and every coupling feature
-/// (outages, fault models, queueing, redirection) appears with enough
-/// probability that both engine paths see real traffic.
+/// Scenario generator biased so the windowed wrapper sees real traffic:
+/// tight links force contention (rejections, queueing, stalls), short
+/// videos interleave departures with arrivals inside windows, and every
+/// scenario carries at least one coupling feature so `shards > 1` would
+/// otherwise fall back to the serial coupled loop.
 #[derive(Clone, Copy, Debug)]
 struct ScenarioStrategy;
 
@@ -117,20 +122,18 @@ impl Strategy for ScenarioStrategy {
     type Value = Scenario;
 
     fn generate(&self, rng: &mut TestRng) -> Scenario {
-        let n_pods = rng.gen_range(1usize..=4);
+        let n_pods = rng.gen_range(2usize..=4);
         let servers_per_pod = rng.gen_range(1usize..=3);
         let videos_per_pod = rng.gen_range(1usize..=4);
-        let bridge_video = n_pods > 1 && rng.gen_bool(0.3);
         let n_servers = n_pods * servers_per_pod;
-        let n_videos = n_pods * videos_per_pod + usize::from(bridge_video);
+        let n_videos = n_pods * videos_per_pod;
 
-        let policy = match rng.gen_range(0u32..8) {
-            0..=3 => AdmissionPolicy::StaticRoundRobin,
-            4..=5 => AdmissionPolicy::RoundRobinFailover,
-            6 => AdmissionPolicy::LeastLoadedReplica,
-            _ => AdmissionPolicy::BackboneRedirect {
-                backbone_capacity_kbps: 8_000 + 4_000 * rng.gen_range(0u64..4),
-            },
+        // Window-eligible policies only (BackboneRedirect declines the
+        // wrapper by design and is covered by `shard_differential`).
+        let policy = match rng.gen_range(0u32..4) {
+            0..=1 => AdmissionPolicy::StaticRoundRobin,
+            2 => AdmissionPolicy::RoundRobinFailover,
+            _ => AdmissionPolicy::LeastLoadedReplica,
         };
         let admission = match rng.gen_range(0u32..4) {
             0..=1 => AdmissionConfig::default(),
@@ -149,7 +152,8 @@ impl Strategy for ScenarioStrategy {
                 seed: rng.gen(),
             },
         };
-        let failures = if rng.gen_bool(0.3) {
+        let has_outage = rng.gen_bool(0.4);
+        let failures = if has_outage {
             let down = 5.0 + rng.gen_range(0u32..60) as f64;
             FailurePlan::new(vec![Outage {
                 server: ServerId(rng.gen_range(0u32..n_servers as u32)),
@@ -160,7 +164,7 @@ impl Strategy for ScenarioStrategy {
         } else {
             FailurePlan::none()
         };
-        let failure_model = match rng.gen_range(0u32..5) {
+        let failure_model = match rng.gen_range(0u32..4) {
             0 => Some(FailureModel::exponential(
                 40.0 + rng.gen_range(0u32..40) as f64,
                 5.0,
@@ -177,12 +181,30 @@ impl Strategy for ScenarioStrategy {
             )),
             _ => None,
         };
+        let controller = rng.gen_bool(0.5);
+        // Keep the case coupled: without any coupling feature the
+        // decoupled path would take it and no window would ever open.
+        let coupled = has_outage
+            || failure_model.is_some()
+            || controller
+            || !matches!(admission.policy, QueuePolicy::Block);
+        let failures = if coupled {
+            failures
+        } else {
+            let down = 5.0 + rng.gen_range(0u32..60) as f64;
+            FailurePlan::new(vec![Outage {
+                server: ServerId(rng.gen_range(0u32..n_servers as u32)),
+                down_at_min: down,
+                up_at_min: Some(down + 10.0),
+            }])
+            .expect("valid outage plan")
+        };
         let failover = match rng.gen_range(0u32..3) {
             0 => FailoverPolicy::Kill,
             1 => FailoverPolicy::Resume,
             _ => FailoverPolicy::ResumeOrDegrade,
         };
-        let repair = if rng.gen_bool(0.3) {
+        let repair = if rng.gen_bool(0.4) {
             RepairConfig {
                 bandwidth_kbps: 2_000,
                 max_concurrent: 4,
@@ -191,13 +213,13 @@ impl Strategy for ScenarioStrategy {
             RepairConfig::default()
         };
 
-        let n_arrivals = rng.gen_range(10usize..120);
+        let n_arrivals = rng.gen_range(20usize..120);
         let mut at = 0.0f64;
         let mut arrivals = Vec::with_capacity(n_arrivals);
         for _ in 0..n_arrivals {
-            at += rng.gen_range(0u32..180) as f64 / 100.0; // 0–1.8 min gaps
+            at += rng.gen_range(0u32..120) as f64 / 100.0; // 0–1.2 min gaps
             if at >= 88.0 {
-                break; // stay inside the 90-minute horizon
+                break;
             }
             arrivals.push(Request {
                 arrival_min: at,
@@ -209,7 +231,6 @@ impl Strategy for ScenarioStrategy {
             n_pods,
             servers_per_pod,
             videos_per_pod,
-            bridge_video,
             bandwidth_kbps: 4_000 * rng.gen_range(1u64..=4),
             duration_s: 60 * rng.gen_range(3u64..=15),
             policy,
@@ -218,17 +239,16 @@ impl Strategy for ScenarioStrategy {
             failure_model,
             failover,
             repair,
+            controller,
             audit: rng.gen_bool(0.5),
             shards: [2, 4, 8][rng.gen_range(0usize..3)],
+            max_span_min: [0.5, 2.0, 5.0, 30.0][rng.gen_range(0usize..4)],
             arrivals,
         }
     }
 }
 
-/// Counter totals with the shard-count-dependent `sim.shard.*` and
-/// `sim.window.*` names projected out (the windowed executor only
-/// engages at `shards > 1`, so its health counters exist on one side
-/// by design — every *simulation* counter must still agree).
+/// Counter totals modulo the shard-count-dependent groups.
 fn comparable_counters(telemetry: &Telemetry) -> Vec<(String, u64)> {
     telemetry
         .snapshot()
@@ -241,22 +261,35 @@ fn comparable_counters(telemetry: &Telemetry) -> Vec<(String, u64)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Any scenario replayed at `shards = 1` and `shards > 1` yields the
-    /// same serialized report and the same telemetry counter totals.
+    /// Any coupled scenario replayed serially and under the windowed
+    /// executor yields the same serialized report and the same
+    /// simulation counter totals.
     #[test]
-    fn sharded_runs_match_serial(scenario in ScenarioStrategy) {
+    fn windowed_runs_match_serial(scenario in ScenarioStrategy) {
         let (catalog, cluster, layout) = scenario.world();
         let trace = Trace::new(scenario.arrivals.clone()).expect("arrivals are sorted");
 
-        let serial = Simulation::new(&catalog, &cluster, &layout, scenario.config(1))
+        let serial_cfg = scenario.config(
+            1,
+            WindowConfig { enabled: false, ..WindowConfig::default() },
+        );
+        let windowed_cfg = scenario.config(
+            scenario.shards,
+            WindowConfig {
+                min_events: 1,
+                max_span_min: scenario.max_span_min,
+                ..WindowConfig::default()
+            },
+        );
+        let serial = Simulation::new(&catalog, &cluster, &layout, serial_cfg)
             .expect("serial config binds");
-        let sharded = Simulation::new(&catalog, &cluster, &layout, scenario.config(scenario.shards))
-            .expect("sharded config binds");
+        let windowed = Simulation::new(&catalog, &cluster, &layout, windowed_cfg)
+            .expect("windowed config binds");
 
         let t_serial = Telemetry::enabled();
-        let t_sharded = Telemetry::enabled();
+        let t_windowed = Telemetry::enabled();
         let a = serial.run_with_telemetry(&trace, &t_serial).expect("serial run");
-        let b = sharded.run_with_telemetry(&trace, &t_sharded).expect("sharded run");
+        let b = windowed.run_with_telemetry(&trace, &t_windowed).expect("windowed run");
 
         prop_assert_eq!(
             serde_json::to_string(&a).expect("report serializes"),
@@ -267,7 +300,7 @@ proptest! {
         );
         prop_assert_eq!(
             comparable_counters(&t_serial),
-            comparable_counters(&t_sharded),
+            comparable_counters(&t_windowed),
             "counter totals diverged at shards={} for {:?}",
             scenario.shards,
             scenario
